@@ -1,0 +1,25 @@
+"""Shared fixtures/helpers for the paper-reproduction benchmarks.
+
+Every module regenerates one table or figure of the paper.  The
+simulation is deterministic, so one round per benchmark is meaningful;
+``--benchmark-only`` runs them all and prints the paper-shaped output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

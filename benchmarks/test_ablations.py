@@ -1,0 +1,173 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but experiments the paper's design decisions
+imply:
+
+* **Rendezvous chunk size** (Sec. 3.3.2): "the amount of data copied in
+  one handshake cycle ... should be kept below the size of the 2nd level
+  cache" — sweeping the chunk size around L2 must show the optimum below
+  the L2 size for mixed-block datatypes.
+* **The minimal-block-size knob** (footnote 1): AUTO mode should switch
+  from generic to direct at the profitable block size.
+* **DMA-based non-contiguous transfer** (Sec. 6 outlook): DMA + ff-pack
+  beats PIO direct packing for tiny blocks (no per-block transaction
+  penalty) and loses for medium blocks (setup + extra copy).
+* **The eager/rendezvous threshold**: mid-size messages pay either the
+  rendezvous handshake or the eager copy; the default must sit near the
+  crossover.
+"""
+
+import numpy as np
+import pytest
+
+from repro._units import KiB, to_mib_s
+from repro.cluster import Cluster
+from repro.mpi.datatypes import DOUBLE, INT, Struct, Hvector, Resized, Vector
+from repro.mpi.pt2pt import NonContigMode, ProtocolConfig
+
+
+def one_way_time(cluster, dtype, count=1, tag=0):
+    """Simulated one-way transfer time for one datatype message."""
+
+    def program(ctx):
+        comm = ctx.comm
+        span = dtype.extent * count
+        buf = ctx.alloc(span)
+        yield from comm.barrier()
+        t0 = ctx.now
+        if comm.rank == 0:
+            yield from comm.send(buf, dest=1, tag=tag, datatype=dtype, count=count)
+            return None
+        yield from comm.recv(buf, source=0, tag=tag, datatype=dtype, count=count)
+        return ctx.now - t0
+
+    return cluster.run(program).results[1]
+
+
+def mixed_block_type(total_bytes: int):
+    """A type with two different basic block sizes (triggers the
+    non-monotonic-address case of Sec. 3.3.2): 8 B + 64 B per 144 B cell."""
+    cell = Resized(
+        Struct([1, 8], [0, 16], [DOUBLE, DOUBLE]),
+        lb=0, extent=144,
+    )
+    count = total_bytes // 72
+    return Hvector(count, 1, 144, cell).commit()
+
+
+def test_ablation_rendezvous_chunk_size(once):
+    """Optimum chunk size lies below the L2 size (256 kiB)."""
+    dtype = mixed_block_type(1024 * KiB)
+
+    def sweep():
+        results = {}
+        for chunk in (16 * KiB, 64 * KiB, 128 * KiB, 512 * KiB, 1024 * KiB):
+            protocol = ProtocolConfig(
+                noncontig_mode=NonContigMode.DIRECT, rendezvous_chunk=chunk
+            )
+            cluster = Cluster(n_nodes=2, protocol=protocol)
+            results[chunk] = one_way_time(cluster, dtype)
+        return results
+
+    results = once(sweep)
+    print()
+    for chunk, t in results.items():
+        print(f"  chunk {chunk // KiB:5d} kiB: {t:9.1f} µs")
+    best = min(results, key=results.get)
+    assert best < 256 * KiB, "optimum must be below the L2 size"
+    # Chunks beyond L2 thrash: visibly slower than the best sub-L2 chunk.
+    assert results[1024 * KiB] > 1.15 * results[best]
+    # But overly small chunks pay handshake overhead.
+    assert results[16 * KiB] > results[64 * KiB]
+
+
+def test_ablation_direct_min_block_knob(once):
+    """AUTO mode switches to generic below the knob's block size."""
+    small_vec = Vector(8192, 1, 2, DOUBLE).commit()   # 8 B blocks, 64 kiB
+
+    def sweep():
+        results = {}
+        for min_block in (0, 16, 64):
+            protocol = ProtocolConfig(
+                noncontig_mode=NonContigMode.AUTO, direct_min_block=min_block
+            )
+            cluster = Cluster(n_nodes=2, protocol=protocol)
+            results[min_block] = one_way_time(cluster, small_vec)
+        for fixed in (NonContigMode.GENERIC, NonContigMode.DIRECT):
+            cluster = Cluster(n_nodes=2, protocol=ProtocolConfig(noncontig_mode=fixed))
+            results[fixed] = one_way_time(cluster, small_vec)
+        return results
+
+    results = once(sweep)
+    print()
+    for k, t in results.items():
+        print(f"  {k!s:10}: {t:9.1f} µs")
+    # min_block=0 -> always direct (the paper's experiment setting).
+    assert results[0] == pytest.approx(results[NonContigMode.DIRECT])
+    # min_block=16 -> 8 B blocks use the generic path, which wins here.
+    assert results[16] == pytest.approx(results[NonContigMode.GENERIC])
+    assert results[16] < results[0]
+
+
+def test_ablation_dma_noncontig(once):
+    """The Sec. 6 outlook: DMA + ff-pack vs PIO direct vs generic."""
+    total = 512 * KiB
+
+    def sweep():
+        out = {}
+        for blocksize in (8, 64, 1 * KiB):
+            doubles = blocksize // 8
+            vec = Vector(total // blocksize, doubles, 2 * doubles, DOUBLE).commit()
+            row = {}
+            for mode in (NonContigMode.GENERIC, NonContigMode.DIRECT,
+                         NonContigMode.DMA):
+                cluster = Cluster(n_nodes=2, protocol=ProtocolConfig(noncontig_mode=mode))
+                row[mode] = to_mib_s(total / one_way_time(cluster, vec))
+            out[blocksize] = row
+        return out
+
+    out = once(sweep)
+    print()
+    for blocksize, row in out.items():
+        print(f"  {blocksize:5d} B blocks: " + "  ".join(
+            f"{mode}={bw:7.1f}" for mode, bw in row.items()))
+    # Tiny blocks: DMA avoids the per-block SCI transaction penalty and
+    # beats both PIO techniques.
+    assert out[8][NonContigMode.DMA] > out[8][NonContigMode.DIRECT]
+    assert out[8][NonContigMode.DMA] > out[8][NonContigMode.GENERIC]
+    # Mid/large blocks: direct PIO packing wins (no setup, no extra copy).
+    assert out[1 * KiB][NonContigMode.DIRECT] > out[1 * KiB][NonContigMode.DMA]
+
+
+def test_ablation_eager_threshold(once):
+    """Sweep the eager/rendezvous threshold around a 12 kiB message."""
+    nbytes = 12 * KiB
+
+    def sweep():
+        results = {}
+        for threshold in (2 * KiB, 16 * KiB, 64 * KiB):
+            protocol = ProtocolConfig(eager_threshold=threshold)
+            cluster = Cluster(n_nodes=2, protocol=protocol)
+
+            def program(ctx):
+                comm = ctx.comm
+                buf = ctx.alloc(nbytes)
+                yield from comm.barrier()
+                t0 = ctx.now
+                if comm.rank == 0:
+                    yield from comm.send(buf, dest=1, tag=0)
+                    return None
+                yield from comm.recv(buf, source=0, tag=0)
+                return ctx.now - t0
+
+            results[threshold] = cluster.run(program).results[1]
+        return results
+
+    results = once(sweep)
+    print()
+    for threshold, t in results.items():
+        print(f"  eager threshold {threshold // KiB:3d} kiB: {t:8.1f} µs")
+    # Below the threshold the 12 kiB message goes eager and skips the
+    # rendezvous handshake: faster.
+    assert results[16 * KiB] < results[2 * KiB]
+    assert results[64 * KiB] == pytest.approx(results[16 * KiB], rel=0.01)

@@ -1,0 +1,37 @@
+"""E8 / Table 1: the platform catalogue for the performance comparison."""
+
+from repro.bench.series import Table, render_table
+from repro.platforms import TABLE1, platform_by_id
+
+
+def test_table1(once):
+    def build():
+        table = Table(
+            title="Table 1: cluster platforms for evaluation of MPI performance",
+            columns=["ID", "intercon", "MPI", "OSC"],
+        )
+        for spec in TABLE1:
+            table.add_row(
+                spec.id,
+                spec.interconnect[:9],
+                spec.mpi[:9],
+                "yes" if spec.supports_osc else "no",
+            )
+        return table
+
+    table = once(build)
+    print()
+    print(render_table(table))
+
+    ids = [spec.id for spec in TABLE1]
+    assert ids == ["C", "F-G", "F-s", "M-S", "M-s", "X-f", "X-s", "S-M", "S-s"]
+    # OSC support per the paper's table.
+    osc = {spec.id: spec.supports_osc for spec in TABLE1}
+    assert osc == {
+        "C": True, "F-G": False, "F-s": True, "M-S": True, "M-s": True,
+        "X-f": True, "X-s": True, "S-M": False, "S-s": False,
+    }
+    # The SCI rows are simulator-backed, the rest analytic.
+    assert platform_by_id("M-S").simulated and platform_by_id("M-s").simulated
+    for pid in ("C", "F-G", "F-s", "X-f", "X-s", "S-M", "S-s"):
+        assert not platform_by_id(pid).simulated

@@ -1,0 +1,90 @@
+"""repro — reproduction of "Exploiting Transparent Remote Memory Access for
+Non-Contiguous- and One-Sided-Communication" (Worringen et al., 2002).
+
+A simulated SCI-connected cluster (discrete-event simulation with
+calibrated hardware cost models that move real bytes) carrying a full
+MPI-like library: derived datatypes with the ``direct_pack_ff`` flattening
+algorithm, short/eager/rendezvous point-to-point protocols, collectives,
+and MPI-2 one-sided communication with direct/emulated window access.
+
+Quick start::
+
+    from repro import Cluster
+
+    def program(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(1024)
+        if comm.rank == 0:
+            buf.fill(42)
+            yield from comm.send(buf, dest=1)
+        else:
+            yield from comm.recv(buf, source=0)
+        return ctx.now
+
+    print(Cluster(n_nodes=2).run(program).results)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from ._units import KiB, MiB, mib_s, to_mib_s
+from .cluster import Cluster, ClusterRun, RankContext
+from .hardware.params import DEFAULT_NODE, NodeParams
+from .mpi import ANY_SOURCE, ANY_TAG, Communicator, MPIError, Request, Status
+from .mpi.datatypes import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    SHORT,
+    Contiguous,
+    Datatype,
+    Hindexed,
+    Hvector,
+    Indexed,
+    Resized,
+    Struct,
+    Subarray,
+    Vector,
+)
+from .mpi.pt2pt import NonContigMode, ProtocolConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "BYTE",
+    "CHAR",
+    "Cluster",
+    "ClusterRun",
+    "Communicator",
+    "Contiguous",
+    "DEFAULT_NODE",
+    "DOUBLE",
+    "Datatype",
+    "FLOAT",
+    "Hindexed",
+    "Hvector",
+    "INT",
+    "Indexed",
+    "KiB",
+    "LONG",
+    "MPIError",
+    "MiB",
+    "NodeParams",
+    "NonContigMode",
+    "ProtocolConfig",
+    "RankContext",
+    "Request",
+    "Resized",
+    "SHORT",
+    "Status",
+    "Struct",
+    "Subarray",
+    "Vector",
+    "mib_s",
+    "to_mib_s",
+]

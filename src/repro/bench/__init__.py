@@ -1,0 +1,32 @@
+"""Benchmark infrastructure (S12): one module per paper experiment.
+
+================  ===================================================
+module            paper artefact
+================  ===================================================
+``raw``           Fig. 1  — raw SCI latency/bandwidth (E1)
+``noncontig``     Fig. 7  — the *noncontig* micro-benchmark (E2),
+                  plus the per-platform Fig. 10 curves (E5)
+``strided``       Sec. 4.3 — strided remote-write study (E3)
+``sparse``        Fig. 9  — the *sparse* micro-benchmark (E4),
+                  plus the per-platform Fig. 11 curves (E6)
+``ring``          Table 2 — ring saturation (E9), and Fig. 12 (E7)
+``series``        result containers and text rendering
+================  ===================================================
+
+Table 1 (E8) lives in :mod:`repro.platforms.catalogue`.
+"""
+
+from . import noncontig, raw, ring, sparse, strided
+from .series import Series, Table, render_series, render_table
+
+__all__ = [
+    "Series",
+    "Table",
+    "noncontig",
+    "raw",
+    "render_series",
+    "render_table",
+    "ring",
+    "sparse",
+    "strided",
+]

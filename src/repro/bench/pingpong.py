@@ -1,0 +1,94 @@
+"""Classic MPI ping-pong micro-benchmarks (latency / bandwidth curves).
+
+Not a paper figure — the standard characterization suite any MPI release
+ships (cf. the osu_latency / osu_bw style).  Useful to place the simulated
+SCI-MPICH next to its contemporaries and to regression-test the protocol
+stack's end-to-end timing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .._units import KiB, MiB, to_mib_s
+from ..cluster import Cluster
+from ..hardware.params import DEFAULT_NODE, NodeParams
+from ..mpi.pt2pt.config import DEFAULT_PROTOCOL, ProtocolConfig
+from .series import Series
+
+__all__ = ["pingpong", "latency_series", "bandwidth_series", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES: list[int] = [
+    0, 1, 8, 64, 128, 512, 1 * KiB, 4 * KiB, 16 * KiB,
+    64 * KiB, 256 * KiB, 1 * MiB,
+]
+
+
+def pingpong(
+    nbytes: int,
+    iterations: int = 4,
+    intranode: bool = False,
+    node_params: NodeParams = DEFAULT_NODE,
+    protocol: ProtocolConfig = DEFAULT_PROTOCOL,
+) -> float:
+    """One-way time (µs) of an ``nbytes`` message, ping-pong averaged.
+
+    The simulation is deterministic, so a handful of iterations suffices
+    (the first exchange differs slightly: eager-pool setup etc.).
+    """
+    if nbytes < 0 or iterations < 1:
+        raise ValueError("need nbytes >= 0 and iterations >= 1")
+    if intranode:
+        cluster = Cluster(n_nodes=1, procs_per_node=2,
+                          node_params=node_params, protocol=protocol)
+    else:
+        cluster = Cluster(n_nodes=2, node_params=node_params,
+                          protocol=protocol)
+
+    def program(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(max(nbytes, 1))
+        yield from comm.barrier()
+        t0 = ctx.now
+        for _ in range(iterations):
+            if comm.rank == 0:
+                yield from comm.send(buf, dest=1, tag=0, count=nbytes)
+                yield from comm.recv(buf, source=1, tag=0, count=nbytes)
+            else:
+                yield from comm.recv(buf, source=0, tag=0, count=nbytes)
+                yield from comm.send(buf, dest=0, tag=0, count=nbytes)
+        return ctx.now - t0
+
+    run = cluster.run(program)
+    round_trips = run.results[0]
+    return round_trips / (2 * iterations)
+
+
+def latency_series(
+    sizes: Optional[list[int]] = None,
+    intranode: bool = False,
+    node_params: NodeParams = DEFAULT_NODE,
+) -> Series:
+    """One-way latency (µs) over message sizes."""
+    sizes = sizes if sizes is not None else DEFAULT_SIZES
+    where = "shm" if intranode else "SCI"
+    series = Series(f"latency ({where})", y_unit="µs")
+    for size in sizes:
+        series.add(size, pingpong(size, intranode=intranode,
+                                  node_params=node_params))
+    return series
+
+
+def bandwidth_series(
+    sizes: Optional[list[int]] = None,
+    intranode: bool = False,
+    node_params: NodeParams = DEFAULT_NODE,
+) -> Series:
+    """One-way bandwidth (MiB/s) over message sizes (zero size skipped)."""
+    sizes = [s for s in (sizes if sizes is not None else DEFAULT_SIZES) if s > 0]
+    where = "shm" if intranode else "SCI"
+    series = Series(f"bandwidth ({where})")
+    for size in sizes:
+        one_way = pingpong(size, intranode=intranode, node_params=node_params)
+        series.add(size, to_mib_s(size / one_way))
+    return series

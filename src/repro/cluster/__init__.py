@@ -1,0 +1,5 @@
+"""Cluster façade (S13): build a simulated SCI cluster and run MPI programs."""
+
+from .builder import Cluster, ClusterRun, RankContext
+
+__all__ = ["Cluster", "ClusterRun", "RankContext"]

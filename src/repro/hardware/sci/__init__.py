@@ -1,0 +1,63 @@
+"""The simulated SCI interconnect (S4).
+
+Layers, bottom-up:
+
+* :mod:`~repro.hardware.sci.transactions` — how CPU stores become PCI and
+  SCI transactions (write-combining, stream buffers, natural alignment)
+  and what PIO/DMA access runs cost.
+* :mod:`~repro.hardware.sci.ringlet` — ring/torus topology and routing.
+* :mod:`~repro.hardware.sci.flows` — fluid bandwidth sharing with the
+  congestion-response curve calibrated from the paper's Table 2.
+* :mod:`~repro.hardware.sci.fabric` — the operation facade (pio_write,
+  pio_read, dma_transfer, store_barrier, post_interrupt) used by SMI/MPI.
+* :mod:`~repro.hardware.sci.segments` — exported/imported shared segments
+  that move the actual bytes.
+"""
+
+from .fabric import SCIConnectionError, SCIFabric
+from .flows import Flow, FlowNetwork
+from .ringlet import RingTopology, Route, TorusTopology
+from .segments import (
+    ImportedSegment,
+    SCISegment,
+    SegmentDirectory,
+    SegmentError,
+    gather_run,
+    scatter_run,
+)
+from .transactions import (
+    AccessRun,
+    TxnSummary,
+    WriteCost,
+    dma_cost,
+    remote_read_cost,
+    remote_read_txns,
+    remote_write_cost,
+    summarize_block,
+    summarize_run,
+)
+
+__all__ = [
+    "AccessRun",
+    "Flow",
+    "FlowNetwork",
+    "ImportedSegment",
+    "RingTopology",
+    "Route",
+    "SCIConnectionError",
+    "SCIFabric",
+    "SCISegment",
+    "SegmentDirectory",
+    "SegmentError",
+    "TorusTopology",
+    "TxnSummary",
+    "WriteCost",
+    "dma_cost",
+    "gather_run",
+    "remote_read_cost",
+    "remote_read_txns",
+    "remote_write_cost",
+    "scatter_run",
+    "summarize_block",
+    "summarize_run",
+]

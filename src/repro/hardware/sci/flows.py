@@ -1,0 +1,166 @@
+"""Fluid-flow bandwidth sharing on the SCI ring.
+
+Concurrent transfers share ring segments.  This module models each transfer
+as a *fluid flow* with a per-flow injection-rate cap (set by the PIO/DMA
+cost model) routed over a set of segments.  Whenever a flow starts or
+finishes, every flow's rate is recomputed:
+
+    rate_i = cap_i * min over segments s on i's data route of frac(load_s)
+
+where ``load_s`` is the aggregate demand on segment *s* relative to the
+nominal link bandwidth and ``frac`` is the congestion-response curve
+calibrated from Table 2 of the paper (see
+:data:`repro.hardware.params.CONGESTION_CURVE`).  Past saturation, SCI's
+retry traffic makes *delivered* bandwidth fall as offered load rises —
+the curve captures exactly that.
+
+Echo (flow-control) traffic returns over the rest of the ring and is added
+to segment demand with a configurable ratio, reproducing the paper's
+observation that ring traffic rises with flow-control packets even when no
+data segment is shared.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..params import congestion_fraction
+from .ringlet import Route
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ...sim import Engine, Event
+
+__all__ = ["Flow", "FlowNetwork", "fair_share"]
+
+
+def fair_share(load: float) -> float:
+    """Lossless proportional sharing: delivered = min(demand, capacity)."""
+    return 1.0 if load <= 1.0 else 1.0 / load
+
+
+class Flow:
+    """One in-flight transfer on the ring."""
+
+    __slots__ = ("flow_id", "route", "remaining", "rate_cap", "rate", "done", "version")
+
+    def __init__(self, flow_id: int, route: Route, nbytes: float, rate_cap: float, done: "Event"):
+        self.flow_id = flow_id
+        self.route = route
+        self.remaining = float(nbytes)
+        self.rate_cap = rate_cap
+        self.rate = rate_cap
+        self.done = done
+        self.version = 0
+
+
+class FlowNetwork:
+    """Max-rate fluid sharing of ring segments with congestion response."""
+
+    def __init__(
+        self,
+        engine: "Engine",
+        capacities: dict[object, float],
+        echo_ratio: float = 0.1,
+        name: str = "sci",
+        response=None,
+    ):
+        """``response(load) -> delivered fraction`` sets the sharing
+        behaviour per unit of relative demand; defaults to the SCI
+        congestion curve.  Use :func:`fair_share` for media that divide
+        bandwidth without retry losses (e.g. a memory bus)."""
+        if any(c <= 0 for c in capacities.values()):
+            raise ValueError("segment capacities must be positive")
+        if echo_ratio < 0:
+            raise ValueError(f"negative echo_ratio: {echo_ratio}")
+        self.engine = engine
+        self.capacities = dict(capacities)
+        self.echo_ratio = echo_ratio
+        self.name = name
+        self.response = response if response is not None else congestion_fraction
+        self._flows: dict[int, Flow] = {}
+        self._next_id = 0
+        self._last_update = engine.now
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def transfer(self, route: Route, nbytes: float, rate_cap: float) -> "Event":
+        """Start a flow; the returned event fires when all bytes are delivered."""
+        from ...sim import Event
+
+        done = Event(self.engine, name=f"{self.name}:flow-done")
+        if nbytes <= 0:
+            done.succeed()
+            return done
+        if rate_cap <= 0:
+            raise ValueError(f"non-positive rate cap: {rate_cap}")
+        if not route.data_segments:
+            # Same-node "transfer": no ring involvement, instantaneous at
+            # this layer (the caller accounts for local-copy time).
+            done.succeed()
+            return done
+        for seg in route.data_segments + route.echo_segments:
+            if seg not in self.capacities:
+                raise KeyError(f"unknown segment {seg!r}")
+        flow = Flow(self._next_id, route, nbytes, rate_cap, done)
+        self._next_id += 1
+        self._advance()
+        self._flows[flow.flow_id] = flow
+        self._recompute()
+        return done
+
+    def segment_demand(self) -> dict[object, float]:
+        """Current demand (B/µs) per segment, data + echo."""
+        demand: dict[object, float] = {seg: 0.0 for seg in self.capacities}
+        for flow in self._flows.values():
+            for seg in flow.route.data_segments:
+                demand[seg] += flow.rate_cap
+            for seg in flow.route.echo_segments:
+                demand[seg] += flow.rate_cap * self.echo_ratio
+        return demand
+
+    def segment_load(self) -> dict[object, float]:
+        """Demand relative to nominal capacity per segment."""
+        return {
+            seg: d / self.capacities[seg] for seg, d in self.segment_demand().items()
+        }
+
+    # -- internals ------------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Account bytes delivered since the last rate change."""
+        elapsed = self.engine.now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows.values():
+                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+        self._last_update = self.engine.now
+
+    def _recompute(self) -> None:
+        """Recompute every flow's rate and (re)schedule completions."""
+        demand = self.segment_demand()
+        frac = {
+            seg: self.response(d / self.capacities[seg])
+            for seg, d in demand.items()
+        }
+        for flow in self._flows.values():
+            throttle = min(frac[s] for s in flow.route.data_segments)
+            flow.rate = flow.rate_cap * throttle
+            flow.version += 1
+            self._schedule_completion(flow)
+
+    def _schedule_completion(self, flow: Flow) -> None:
+        delay = flow.remaining / flow.rate
+        version = flow.version
+        timer = self.engine.timeout(delay, name=f"{self.name}:flow-{flow.flow_id}")
+        timer.callbacks.append(lambda _ev, f=flow, v=version: self._on_timer(f, v))
+
+    def _on_timer(self, flow: Flow, version: int) -> None:
+        if flow.version != version or flow.flow_id not in self._flows:
+            return  # stale timer from before a rate change
+        self._advance()
+        flow.remaining = 0.0
+        del self._flows[flow.flow_id]
+        flow.done.succeed()
+        if self._flows:
+            self._recompute()

@@ -1,0 +1,88 @@
+"""Buffer views over address spaces.
+
+A :class:`Buffer` is the user-visible handle to a byte range in a simulated
+process's memory — the analogue of a ``void*``/length pair in the C MPI API.
+It supports raw byte access and typed numpy views, and is what application
+code passes to ``send``/``recv``/``put``/``get``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .address_space import AddressSpace
+
+
+class Buffer:
+    """A byte range inside one :class:`~repro.memlib.address_space.AddressSpace`."""
+
+    __slots__ = ("space", "base", "nbytes", "label")
+
+    def __init__(self, space: "AddressSpace", base: int, nbytes: int, label: str = ""):
+        self.space = space
+        self.base = base
+        self.nbytes = nbytes
+        self.label = label
+
+    # -- derived views ---------------------------------------------------------
+
+    def slice(self, offset: int, nbytes: int) -> "Buffer":
+        """Sub-buffer at ``offset`` within this buffer."""
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
+            raise ValueError(
+                f"slice [{offset}, {offset + nbytes}) outside buffer of "
+                f"{self.nbytes} B"
+            )
+        return Buffer(self.space, self.base + offset, nbytes, label=self.label)
+
+    def as_array(self, dtype: np.dtype | str = np.uint8) -> np.ndarray:
+        """A numpy view of the whole buffer with the given dtype."""
+        dt = np.dtype(dtype)
+        if self.nbytes % dt.itemsize:
+            raise ValueError(
+                f"buffer of {self.nbytes} B is not a multiple of "
+                f"{dt.itemsize}-byte items"
+            )
+        raw = self.space.read(self.base, self.nbytes)
+        return raw.view(dt)
+
+    # -- byte access -------------------------------------------------------------
+
+    def read(self, offset: int = 0, nbytes: int | None = None) -> np.ndarray:
+        """View of ``nbytes`` at ``offset`` (defaults to the rest of the buffer)."""
+        if nbytes is None:
+            nbytes = self.nbytes - offset
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
+            raise ValueError(
+                f"read [{offset}, {offset + nbytes}) outside buffer of "
+                f"{self.nbytes} B"
+            )
+        return self.space.read(self.base + offset, nbytes)
+
+    def write(self, data: np.ndarray | bytes | bytearray, offset: int = 0) -> None:
+        """Copy ``data`` into the buffer at ``offset``."""
+        nbytes = data.nbytes if isinstance(data, np.ndarray) else len(data)
+        if offset < 0 or offset + nbytes > self.nbytes:
+            raise ValueError(
+                f"write [{offset}, {offset + nbytes}) outside buffer of "
+                f"{self.nbytes} B"
+            )
+        self.space.write(self.base + offset, data)
+
+    def fill(self, value: int) -> None:
+        """Set every byte of the buffer to ``value``."""
+        self.space.read(self.base, self.nbytes)[:] = value
+
+    def tobytes(self) -> bytes:
+        """Immutable snapshot of the buffer's contents."""
+        return self.space.read(self.base, self.nbytes).tobytes()
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def __repr__(self) -> str:
+        label = f" {self.label!r}" if self.label else ""
+        return f"<Buffer{label} base={self.base} nbytes={self.nbytes}>"

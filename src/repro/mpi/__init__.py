@@ -1,0 +1,17 @@
+"""The MPI library (S6-S10): datatypes, pt2pt, collectives, one-sided."""
+
+from .comm import ANY_SOURCE, ANY_TAG, Communicator, Status
+from .errors import CommunicationError, MessageTruncated, MPIError, RMAError
+from .request import Request
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CommunicationError",
+    "Communicator",
+    "MPIError",
+    "MessageTruncated",
+    "RMAError",
+    "Request",
+    "Status",
+]

@@ -1,0 +1,27 @@
+"""Collective operations (S9)."""
+
+from .collectives import (
+    OPS,
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+    reduce_scatter_block,
+    scatter,
+)
+
+__all__ = [
+    "OPS",
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "barrier",
+    "bcast",
+    "gather",
+    "reduce",
+    "reduce_scatter_block",
+    "scatter",
+]

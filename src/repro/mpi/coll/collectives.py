@@ -1,0 +1,236 @@
+"""Collective operations built on the point-to-point device.
+
+Classic算法: binomial trees for barrier/bcast/reduce, ring allgather,
+recursive structure kept simple — these exist to support the examples and
+benchmarks (the paper's focus is pt2pt datatypes and one-sided), but they
+are real implementations exercising the full protocol stack.
+
+All functions are DES generators taking the caller's Communicator.
+Reduction operates on numpy-typed views.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from ..datatypes.basic import BYTE, BasicType, DOUBLE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..comm import Communicator
+    from ...memlib import Buffer
+
+__all__ = [
+    "OPS",
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "barrier",
+    "bcast",
+    "gather",
+    "reduce",
+    "reduce_scatter_block",
+    "scatter",
+]
+
+#: Reserved tag space for collectives (user tags must stay below this).
+COLL_TAG = 1 << 20
+
+#: Reduction operators on numpy arrays.
+OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": lambda a, b: a + b,
+    "prod": lambda a, b: a * b,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+def barrier(comm: "Communicator"):
+    """Dissemination barrier: ceil(log2 n) rounds of pt2pt exchanges."""
+    size = comm.size
+    if size == 1:
+        return
+        yield  # pragma: no cover - generator marker
+    rank = comm.rank
+    token = comm.alloc_scratch(1)
+    distance = 1
+    while distance < size:
+        dst = (rank + distance) % size
+        src = (rank - distance) % size
+        req = comm.isend(token, dst, tag=COLL_TAG + 1)
+        yield from comm.recv(token, source=src, tag=COLL_TAG + 1)
+        yield from req.wait()
+        distance *= 2
+
+
+def bcast(comm: "Communicator", buf: "Buffer", root: int = 0,
+          datatype=None, count: Optional[int] = None):
+    """Binomial-tree broadcast."""
+    size = comm.size
+    if size == 1:
+        return
+        yield  # pragma: no cover - generator marker
+    rank = comm.rank
+    relative = (rank - root) % size
+    # Climb masks until our lowest set bit: that's where our parent is.
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            parent = ((relative & ~mask) + root) % size
+            yield from comm.recv(buf, source=parent, tag=COLL_TAG + 2,
+                                 datatype=datatype, count=count)
+            break
+        mask <<= 1
+    # Forward to children below the bit where we received.
+    mask >>= 1
+    while mask > 0:
+        child_rel = relative | mask
+        if child_rel != relative and child_rel < size:
+            child = (child_rel + root) % size
+            yield from comm.send(buf, child, tag=COLL_TAG + 2,
+                                 datatype=datatype, count=count)
+        mask >>= 1
+
+
+def reduce(comm: "Communicator", sendbuf: "Buffer", recvbuf: Optional["Buffer"],
+           root: int = 0, op: str = "sum", datatype: BasicType = DOUBLE,
+           count: Optional[int] = None):
+    """Binomial-tree reduction to ``root``."""
+    if op not in OPS:
+        raise ValueError(f"unknown reduction op {op!r}")
+    size = comm.size
+    rank = comm.rank
+    if count is None:
+        count = sendbuf.nbytes // datatype.size
+    nbytes = count * datatype.size
+    acc = np.array(sendbuf.read(0, nbytes), copy=True).view(datatype.np_dtype)
+    if size > 1:
+        relative = (rank - root) % size
+        scratch = comm.alloc_scratch(nbytes)
+        mask = 1
+        while mask < size:
+            if relative & mask:
+                parent = ((relative & ~mask) + root) % size
+                scratch.write(acc.view(np.uint8))
+                yield from comm.send(scratch, parent, tag=COLL_TAG + 3,
+                                     datatype=BYTE, count=nbytes)
+                break
+            child_rel = relative | mask
+            if child_rel < size:
+                child = (child_rel + root) % size
+                yield from comm.recv(scratch, source=child, tag=COLL_TAG + 3,
+                                     datatype=BYTE, count=nbytes)
+                incoming = np.array(scratch.read(0, nbytes), copy=True).view(
+                    datatype.np_dtype
+                )
+                acc = OPS[op](acc, incoming)
+            mask <<= 1
+    if rank == root:
+        target = recvbuf if recvbuf is not None else sendbuf
+        target.write(np.ascontiguousarray(acc).view(np.uint8))
+    return None
+
+
+def allreduce(comm: "Communicator", sendbuf: "Buffer", recvbuf: "Buffer",
+              op: str = "sum", datatype: BasicType = DOUBLE,
+              count: Optional[int] = None):
+    """Reduce to rank 0 then broadcast."""
+    if count is None:
+        count = sendbuf.nbytes // datatype.size
+    yield from reduce(comm, sendbuf, recvbuf, root=0, op=op,
+                      datatype=datatype, count=count)
+    yield from bcast(comm, recvbuf, root=0, datatype=BYTE,
+                     count=count * datatype.size)
+
+
+def gather(comm: "Communicator", sendbuf: "Buffer", recvbuf: Optional["Buffer"],
+           root: int = 0, count: Optional[int] = None):
+    """Linear gather of equal-sized contributions (bytes)."""
+    n = count if count is not None else sendbuf.nbytes
+    if comm.rank == root:
+        assert recvbuf is not None and recvbuf.nbytes >= n * comm.size
+        recvbuf.write(sendbuf.read(0, n), offset=comm.rank * n)
+        for peer in range(comm.size):
+            if peer == root:
+                continue
+            part = recvbuf.slice(peer * n, n)
+            yield from comm.recv(part, source=peer, tag=COLL_TAG + 4)
+    else:
+        yield from comm.send(sendbuf.slice(0, n), root, tag=COLL_TAG + 4)
+
+
+def scatter(comm: "Communicator", sendbuf: Optional["Buffer"], recvbuf: "Buffer",
+            root: int = 0, count: Optional[int] = None):
+    """Linear scatter of equal-sized pieces (bytes)."""
+    n = count if count is not None else recvbuf.nbytes
+    if comm.rank == root:
+        assert sendbuf is not None and sendbuf.nbytes >= n * comm.size
+        recvbuf.write(sendbuf.read(root * n, n))
+        for peer in range(comm.size):
+            if peer == root:
+                continue
+            yield from comm.send(sendbuf.slice(peer * n, n), peer,
+                                 tag=COLL_TAG + 6)
+    else:
+        yield from comm.recv(recvbuf, source=root, tag=COLL_TAG + 6)
+
+
+def alltoall(comm: "Communicator", sendbuf: "Buffer", recvbuf: "Buffer",
+             count: Optional[int] = None):
+    """Pairwise-exchange all-to-all of equal-sized pieces (bytes).
+
+    Round k: exchange with partner ``rank XOR k``-style shifted peer; the
+    classic pairwise algorithm for full exchanges.
+    """
+    size, rank = comm.size, comm.rank
+    n = count if count is not None else sendbuf.nbytes // size
+    recvbuf.write(sendbuf.read(rank * n, n), offset=rank * n)
+    if size == 1:
+        return
+        yield  # pragma: no cover - generator marker
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        yield from comm.sendrecv(
+            sendbuf.slice(dst * n, n), dst,
+            recvbuf.slice(src * n, n), src,
+            sendtag=COLL_TAG + 7, recvtag=COLL_TAG + 7,
+        )
+
+
+def reduce_scatter_block(comm: "Communicator", sendbuf: "Buffer",
+                         recvbuf: "Buffer", op: str = "sum",
+                         datatype: BasicType = DOUBLE,
+                         count: Optional[int] = None):
+    """Reduce then scatter equal blocks (MPI_Reduce_scatter_block)."""
+    if count is None:
+        count = recvbuf.nbytes // datatype.size
+    total = count * comm.size
+    scratch = comm.alloc_scratch(total * datatype.size)
+    yield from reduce(comm, sendbuf, scratch, root=0, op=op,
+                      datatype=datatype, count=total)
+    yield from scatter(comm, scratch if comm.rank == 0 else None, recvbuf,
+                       root=0, count=count * datatype.size)
+
+
+def allgather(comm: "Communicator", sendbuf: "Buffer", recvbuf: "Buffer",
+              count: Optional[int] = None):
+    """Ring allgather of equal-sized contributions (bytes)."""
+    n = count if count is not None else sendbuf.nbytes
+    size, rank = comm.size, comm.rank
+    recvbuf.write(sendbuf.read(0, n), offset=rank * n)
+    if size == 1:
+        return
+        yield  # pragma: no cover - generator marker
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    current = rank
+    for _ in range(size - 1):
+        chunk = recvbuf.slice(current * n, n)
+        req = comm.isend(chunk, right, tag=COLL_TAG + 5)
+        incoming = (current - 1) % size
+        yield from comm.recv(recvbuf.slice(incoming * n, n), source=left,
+                             tag=COLL_TAG + 5)
+        yield from req.wait()
+        current = incoming

@@ -1,0 +1,59 @@
+"""MPI datatype engine (S6): basic types, constructors, commit/flatten.
+
+Factory helpers mirror the MPI ``MPI_Type_*`` calls::
+
+    vec = Vector(count=64, blocklength=1, stride=2, oldtype=DOUBLE).commit()
+"""
+
+from .base import Datatype, DatatypeError
+from .basic import (
+    BASIC_TYPES,
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    SHORT,
+    UNSIGNED,
+    UNSIGNED_CHAR,
+    UNSIGNED_LONG,
+    UNSIGNED_SHORT,
+    BasicType,
+)
+from .constructors import (
+    Contiguous,
+    Hindexed,
+    Hvector,
+    Indexed,
+    Resized,
+    Struct,
+    Subarray,
+    Vector,
+)
+
+__all__ = [
+    "BASIC_TYPES",
+    "BYTE",
+    "BasicType",
+    "CHAR",
+    "Contiguous",
+    "DOUBLE",
+    "Datatype",
+    "DatatypeError",
+    "FLOAT",
+    "Hindexed",
+    "Hvector",
+    "INT",
+    "Indexed",
+    "LONG",
+    "Resized",
+    "SHORT",
+    "Struct",
+    "Subarray",
+    "UNSIGNED",
+    "UNSIGNED_CHAR",
+    "UNSIGNED_LONG",
+    "UNSIGNED_SHORT",
+    "Vector",
+]

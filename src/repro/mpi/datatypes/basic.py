@@ -1,0 +1,73 @@
+"""Basic (predefined) MPI datatypes.
+
+These mirror the C basic types the MPI standard defines; each carries the
+numpy dtype used for typed views of simulated buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Datatype
+
+__all__ = [
+    "BasicType",
+    "BYTE",
+    "CHAR",
+    "SHORT",
+    "INT",
+    "LONG",
+    "UNSIGNED_CHAR",
+    "UNSIGNED_SHORT",
+    "UNSIGNED",
+    "UNSIGNED_LONG",
+    "FLOAT",
+    "DOUBLE",
+    "BASIC_TYPES",
+]
+
+
+class BasicType(Datatype):
+    """A predefined elementary datatype (a leaf of every datatype tree)."""
+
+    combiner = "basic"
+
+    def __init__(self, name: str, np_dtype: np.dtype | str):
+        self.name = name
+        self.np_dtype = np.dtype(np_dtype)
+        itemsize = self.np_dtype.itemsize
+        super().__init__(size=itemsize, lb=0, ub=itemsize)
+
+    def __repr__(self) -> str:
+        return f"<BasicType {self.name} ({self.size} B)>"
+
+
+BYTE = BasicType("MPI_BYTE", np.uint8)
+CHAR = BasicType("MPI_CHAR", np.int8)
+SHORT = BasicType("MPI_SHORT", np.int16)
+INT = BasicType("MPI_INT", np.int32)
+LONG = BasicType("MPI_LONG", np.int64)
+UNSIGNED_CHAR = BasicType("MPI_UNSIGNED_CHAR", np.uint8)
+UNSIGNED_SHORT = BasicType("MPI_UNSIGNED_SHORT", np.uint16)
+UNSIGNED = BasicType("MPI_UNSIGNED", np.uint32)
+UNSIGNED_LONG = BasicType("MPI_UNSIGNED_LONG", np.uint64)
+FLOAT = BasicType("MPI_FLOAT", np.float32)
+DOUBLE = BasicType("MPI_DOUBLE", np.float64)
+
+#: All predefined types by MPI name.
+BASIC_TYPES: dict[str, BasicType] = {
+    t.name: t
+    for t in (
+        BYTE,
+        CHAR,
+        SHORT,
+        INT,
+        LONG,
+        UNSIGNED_CHAR,
+        UNSIGNED_SHORT,
+        UNSIGNED,
+        UNSIGNED_LONG,
+        FLOAT,
+        DOUBLE,
+    )
+}

@@ -1,0 +1,22 @@
+"""MPI-level exception types."""
+
+from __future__ import annotations
+
+__all__ = ["MPIError", "MessageTruncated", "CommunicationError", "RMAError"]
+
+
+class MPIError(RuntimeError):
+    """Base class of all MPI usage/runtime errors."""
+
+
+class MessageTruncated(MPIError):
+    """A received message is larger than the posted receive buffer
+    (MPI_ERR_TRUNCATE)."""
+
+
+class CommunicationError(MPIError):
+    """A transfer failed at the interconnect level (node/link failure)."""
+
+
+class RMAError(MPIError):
+    """One-sided communication misuse (bad window, bad epoch, bad target)."""

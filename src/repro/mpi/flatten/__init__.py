@@ -1,0 +1,36 @@
+"""direct_pack_ff (S7): flattened datatypes and the arbitrary-offset pack engine.
+
+The representation (:mod:`stack`), its commit-time construction and merge
+optimizations (:mod:`build`), and the pack/unpack/range engine
+(:mod:`engine`) that both the generic and the direct transfer paths share.
+"""
+
+from .build import build_flattened, leaves_of
+from .engine import (
+    PackError,
+    as_access_run,
+    block_groups_in_range,
+    block_runs,
+    pack,
+    pack_range,
+    unpack,
+    unpack_range,
+)
+from .stack import FlattenedType, LeafSpec, Level, Position
+
+__all__ = [
+    "FlattenedType",
+    "LeafSpec",
+    "Level",
+    "PackError",
+    "Position",
+    "as_access_run",
+    "block_groups_in_range",
+    "block_runs",
+    "build_flattened",
+    "leaves_of",
+    "pack",
+    "pack_range",
+    "unpack",
+    "unpack_range",
+]

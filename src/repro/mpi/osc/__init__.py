@@ -1,0 +1,14 @@
+"""MPI-2 one-sided communication (S10)."""
+
+from .messages import OSCAccumulate, OSCGet, OSCNotice, OSCPut
+from .window import Win, WinGlobal, win_create
+
+__all__ = [
+    "OSCAccumulate",
+    "OSCGet",
+    "OSCNotice",
+    "OSCPut",
+    "Win",
+    "WinGlobal",
+    "win_create",
+]

@@ -1,0 +1,19 @@
+"""Point-to-point protocols over SCI packet buffers (S8)."""
+
+from .config import DEFAULT_PROTOCOL, NonContigMode, ProtocolConfig
+from .engine import MPIWorld, RankDevice, Status, TransferMode
+from .messages import ANY_SOURCE, ANY_TAG, Envelope, MatchQueues
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "DEFAULT_PROTOCOL",
+    "Envelope",
+    "MPIWorld",
+    "MatchQueues",
+    "NonContigMode",
+    "ProtocolConfig",
+    "RankDevice",
+    "Status",
+    "TransferMode",
+]

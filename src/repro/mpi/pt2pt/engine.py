@@ -1,0 +1,567 @@
+"""The per-rank MPI device: short / eager / rendezvous protocols.
+
+This mirrors the SCI-MPICH device architecture ([7], Sec. 2): every rank
+exports packet buffers (control ring, eager slots, one rendezvous buffer);
+senders write payloads *into the receiver's memory* with transparent PIO
+stores and then post a control packet.  Three protocols by packed size:
+
+* **short**  — payload inline in the control packet;
+* **eager**  — payload into a pre-granted eager slot (credit flow control);
+* **rendezvous** — handshake, then chunk-wise transfer through the
+  receiver's rendezvous buffer with per-chunk credits ("handshake cycles",
+  Sec. 3.3.2).
+
+Non-contiguous datatypes take one of the Fig. 4 paths: *generic* (pack →
+contiguous transfer → unpack) or *direct_pack_ff* (pack straight into the
+remote buffer / unpack straight out of the local one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+import numpy as np
+
+from ...sim import Channel, Engine, Lock, Resource
+from ...smi import SMIContext
+from ..datatypes.base import Datatype
+from ..errors import MessageTruncated, MPIError
+from ..flatten import block_groups_in_range, pack, pack_range, unpack_range
+from .config import DEFAULT_PROTOCOL, NonContigMode, ProtocolConfig
+from .costs import (
+    contiguous_remote_chunk_duration,
+    direct_remote_chunk_duration,
+    local_chunk_copy_cost,
+    pack_cost_direct,
+    pack_cost_generic,
+)
+from .messages import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CreditReturn,
+    EagerMsg,
+    Envelope,
+    MatchQueues,
+    RndvRequest,
+    ShortMsg,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ...memlib import Buffer
+
+__all__ = ["MPIWorld", "RankDevice", "Status", "TransferMode"]
+
+
+@dataclass(frozen=True)
+class Status:
+    """Result of a completed receive (MPI_Status)."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+
+class TransferMode:
+    CONTIGUOUS = "contiguous"
+    GENERIC = NonContigMode.GENERIC
+    DIRECT = NonContigMode.DIRECT
+    DMA = NonContigMode.DMA
+
+
+@dataclass
+class RndvAck:
+    """Receiver's answer to a rendezvous request."""
+
+    chunk_channel: Channel
+    region: Any  # the receiver's rendezvous SharedRegion
+    chunk_size: int
+
+
+@dataclass
+class ChunkReady:
+    index: int
+    nbytes: int
+    last: bool
+
+
+@dataclass
+class ChunkCredit:
+    index: int
+
+
+class MPIWorld:
+    """All per-rank devices plus shared configuration."""
+
+    def __init__(self, smi: SMIContext, config: ProtocolConfig = DEFAULT_PROTOCOL):
+        self.smi = smi
+        self.engine: Engine = smi.engine
+        self.config = config
+        self.devices = [RankDevice(self, rank) for rank in range(smi.n_ranks)]
+
+    @property
+    def n_ranks(self) -> int:
+        return self.smi.n_ranks
+
+    def device(self, rank: int) -> "RankDevice":
+        return self.devices[rank]
+
+
+class RankDevice:
+    """One rank's communication engine."""
+
+    def __init__(self, world: MPIWorld, rank: int):
+        self.world = world
+        self.rank = rank
+        self.engine = world.engine
+        self.smi = world.smi
+        self.node = world.smi.node_of(rank)
+        self.config = world.config
+        self.match = MatchQueues(self.engine)
+        self.service: Channel = Channel(self.engine, name=f"svc-r{rank}")
+
+        cfg = self.config
+        n = world.smi.n_ranks
+        #: Eager slots: per sender, ``eager_slots`` slots of eager_threshold.
+        self.eager_region = world.smi.create_region(
+            rank, n * cfg.eager_slots * cfg.eager_threshold, label=f"eager-r{rank}"
+        )
+        #: Rendezvous buffer: one chunk, exclusively owned during a transfer.
+        self.rndv_region = world.smi.create_region(
+            rank, cfg.rendezvous_chunk, label=f"rndv-r{rank}"
+        )
+        self.rndv_lock = Lock(self.engine, name=f"rndv-lock-r{rank}")
+        #: Sender-side credit pools per destination, and free slot indices.
+        self._eager_credits: dict[int, Resource] = {}
+        self._eager_free: dict[int, list[int]] = {}
+        #: Hook the OSC layer installs to serve emulation requests.
+        self.osc_handler: Optional[Callable[[Any], Any]] = None
+        #: Optional tracer (see repro.trace.attach_tracer).
+        self.tracer = None
+        #: Perf counters.
+        self.counters = {"sends": 0, "recvs": 0, "short": 0, "eager": 0, "rndv": 0}
+
+        self.engine.process(self._service_loop(), name=f"svc-r{rank}", daemon=True)
+
+    def _trace(self, kind: str, **detail) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.engine.now, self.rank, kind, **detail)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _service_loop(self):
+        """The control-packet poll loop / interrupt handler of this rank."""
+        while True:
+            msg = yield self.service.get()
+            yield self.engine.timeout(self.config.poll_latency)
+            if isinstance(msg, (ShortMsg, EagerMsg, RndvRequest)):
+                self.match.deliver(msg)
+            elif isinstance(msg, CreditReturn):
+                peer, slot = msg.slot_index
+                self._eager_free[peer].append(slot)
+                self._eager_credits[peer].release()
+            elif self.osc_handler is not None:
+                result = self.osc_handler(msg)
+                if result is not None and hasattr(result, "send"):
+                    yield from result
+            else:
+                raise MPIError(f"rank {self.rank}: unhandled control message {msg!r}")
+
+    def _ctrl_cost(self, dst: int) -> float:
+        if self.smi.same_node(self.rank, dst):
+            return self.config.ctrl_send_cost_local
+        return self.config.ctrl_send_cost
+
+    def send_ctrl(self, dst: int, msg: Any, to_channel: Optional[Channel] = None):
+        """Post a control packet to ``dst`` (its service queue by default).
+
+        Control packets are remote writes too: the connection check here
+        is the "connection monitoring and transfer checking" Sec. 2 calls
+        for on a cable-based interconnect.
+        """
+        if not self.smi.same_node(self.rank, dst):
+            src_node = self.node.node_id
+            dst_node = self.smi.node_of(dst).node_id
+            if not self.world.smi.fabric.ping(src_node, dst_node):
+                from ...hardware.sci.fabric import SCIConnectionError
+
+                raise SCIConnectionError(
+                    f"control packet {self.rank}->{dst}: peer unreachable"
+                )
+        yield self.engine.timeout(self._ctrl_cost(dst))
+        target = to_channel if to_channel is not None else self.world.device(dst).service
+        target.put(msg)
+
+    def _eager_pool(self, dst: int) -> tuple[Resource, list[int]]:
+        if dst not in self._eager_credits:
+            self._eager_credits[dst] = Resource(
+                self.engine, capacity=self.config.eager_slots, name=f"eager-{self.rank}->{dst}"
+            )
+            self._eager_free[dst] = list(range(self.config.eager_slots))
+        return self._eager_credits[dst], self._eager_free[dst]
+
+    # -- mode selection ------------------------------------------------------------
+
+    def _transfer_mode(self, dtype: Datatype) -> str:
+        if dtype.is_contiguous:
+            return TransferMode.CONTIGUOUS
+        mode = self.config.noncontig_mode
+        if mode == NonContigMode.GENERIC:
+            return TransferMode.GENERIC
+        if mode == NonContigMode.DIRECT:
+            return TransferMode.DIRECT
+        if mode == NonContigMode.DMA:
+            return TransferMode.DMA
+        # AUTO: direct if the smallest basic block is big enough (the
+        # footnote-1 minimal-block-size knob).
+        min_block = min(
+            (leaf.size for leaf in dtype.flattened.leaves), default=0
+        )
+        if min_block >= self.config.direct_min_block:
+            return TransferMode.DIRECT
+        return TransferMode.GENERIC
+
+    def _src_cached(self, total: int) -> bool:
+        return 2 * total <= self.node.params.memory.caches.l2_size
+
+    # -- chunk transfer helpers ------------------------------------------------------
+
+    def _chunk_groups(self, mode, ft, count, pos, nbytes):
+        if mode == TransferMode.CONTIGUOUS:
+            return [(nbytes, 1)]
+        return block_groups_in_range(ft, count, pos, nbytes)
+
+    def _write_chunk(self, dst: int, region, data: np.ndarray, mode: str,
+                     groups: list[tuple[int, int]], src_cached: bool):
+        """Ship ``data`` into offset 0.. of ``region`` at ``dst`` and place it."""
+        n = data.nbytes
+        remote = not self.smi.same_node(self.rank, dst)
+        memory = self.node.memory
+        if remote:
+            params = self.node.params
+            if mode == TransferMode.DMA:
+                yield from self.world.smi.fabric.dma_transfer(
+                    self.node.node_id, self.smi.node_of(dst).node_id, n
+                )
+            else:
+                if mode == TransferMode.DIRECT:
+                    duration = direct_remote_chunk_duration(
+                        params, memory, 0, groups, self.config, src_cached
+                    )
+                else:
+                    duration = contiguous_remote_chunk_duration(params, 0, n, src_cached)
+                yield from self.world.smi.fabric.transfer_raw(
+                    self.node.node_id, self.smi.node_of(dst).node_id, n, duration
+                )
+        else:
+            if mode == TransferMode.DIRECT:
+                yield self.engine.timeout(
+                    pack_cost_direct(memory, groups, self.config)
+                )
+            else:
+                yield self.engine.timeout(local_chunk_copy_cost(memory, n))
+        region.local_view()[: n] = data
+
+    # -- send ------------------------------------------------------------------------
+
+    def send(self, buf: "Buffer", dest: int, tag: int = 0,
+             datatype: Optional[Datatype] = None, count: Optional[int] = None,
+             context: int = 0, sync: bool = False):
+        """Blocking send (DES generator).
+
+        ``sync=True`` gives MPI_Ssend semantics: the call completes only
+        once the receiver has matched the message.
+        """
+        from ..datatypes.basic import BYTE
+
+        if not 0 <= dest < self.world.n_ranks:
+            raise MPIError(f"invalid destination rank {dest}")
+        dtype = datatype if datatype is not None else BYTE
+        dtype.commit()
+        ft = dtype.flattened
+        if count is None:
+            if not dtype.is_contiguous:
+                raise MPIError("count is required for non-contiguous datatypes")
+            count = buf.nbytes // dtype.size if dtype.size else 0
+        total = ft.size * count
+        mem = buf.space.mem
+        base = buf.base
+        cfg = self.config
+        self.counters["sends"] += 1
+        yield self.engine.timeout(cfg.call_overhead)
+
+        mode = self._transfer_mode(dtype)
+        env = Envelope(self.rank, tag, context)
+        src_cached = self._src_cached(total)
+        memory = self.node.memory
+        sync_reply = Channel(self.engine, name="ssend-ack") if sync else None
+        self._trace("send.begin", dest=dest, tag=tag, nbytes=total, mode=mode)
+
+        if total <= cfg.short_threshold:
+            # Short: pack inline (tiny, stack loop either way) + control.
+            payload = pack(mem, base, ft, count)
+            if not dtype.is_contiguous:
+                groups = ft.block_length_groups(count)
+                yield self.engine.timeout(pack_cost_direct(memory, groups, cfg))
+            yield from self.send_ctrl(dest, ShortMsg(env, payload, sync_reply))
+            self.counters["short"] += 1
+        elif total <= cfg.eager_threshold:
+            yield from self._send_eager(dest, env, mem, base, ft, count, total,
+                                        mode, src_cached, sync_reply)
+            self.counters["eager"] += 1
+        else:
+            # Rendezvous is inherently synchronous.
+            yield from self._send_rndv(dest, env, mem, base, ft, count, total,
+                                       mode, src_cached)
+            self.counters["rndv"] += 1
+            sync_reply = None
+        if sync_reply is not None:
+            yield sync_reply.get()
+        protocol = (
+            "short" if total <= cfg.short_threshold
+            else "eager" if total <= cfg.eager_threshold
+            else "rndv"
+        )
+        self._trace("send.end", dest=dest, protocol=protocol)
+
+    def _send_eager(self, dest, env, mem, base, ft, count, total, mode,
+                    src_cached, sync_reply=None):
+        cfg = self.config
+        if mode == TransferMode.DMA:
+            # DMA setup dwarfs eager-sized messages; fall back to the
+            # generic PIO path (what SCI-MPICH's DMA protocol does too).
+            mode = TransferMode.GENERIC
+        credits, free = self._eager_pool(dest)
+        yield credits.request()
+        slot = free.pop()
+        peer_region = self.world.device(dest).eager_region
+        slot_offset = (self.rank * cfg.eager_slots + slot) * cfg.eager_threshold
+
+        if mode == TransferMode.GENERIC:
+            groups = ft.block_length_groups(count)
+            yield self.engine.timeout(
+                pack_cost_generic(self.node.memory, groups, cfg)
+            )
+        data = pack(mem, base, ft, count)
+        groups = self._chunk_groups(mode, ft, count, 0, total)
+        remote = not self.smi.same_node(self.rank, dest)
+        memory = self.node.memory
+        n = data.nbytes
+        if remote:
+            params = self.node.params
+            if mode == TransferMode.DIRECT:
+                duration = direct_remote_chunk_duration(
+                    params, memory, slot_offset, groups, cfg, src_cached
+                )
+            else:
+                duration = contiguous_remote_chunk_duration(
+                    params, slot_offset, n, src_cached
+                )
+            yield from self.world.smi.fabric.transfer_raw(
+                self.node.node_id, self.smi.node_of(dest).node_id, n, duration
+            )
+        else:
+            if mode == TransferMode.DIRECT:
+                yield self.engine.timeout(pack_cost_direct(memory, groups, cfg))
+            else:
+                yield self.engine.timeout(local_chunk_copy_cost(memory, n))
+        peer_region.local_view()[slot_offset : slot_offset + n] = data
+        yield from self.send_ctrl(
+            dest, EagerMsg(env, slot_offset, n, slot_index=slot,
+                           sync_reply=sync_reply)
+        )
+
+    def _send_rndv(self, dest, env, mem, base, ft, count, total, mode, src_cached):
+        cfg = self.config
+        reply: Channel = Channel(self.engine, name=f"rndv-reply-r{self.rank}")
+        yield from self.send_ctrl(dest, RndvRequest(env, total, reply))
+        ack: RndvAck = yield reply.get()
+
+        packed: Optional[np.ndarray] = None
+        if mode == TransferMode.GENERIC:
+            # Generic path: recursive pack of the whole message up front
+            # (Fig. 4 top).
+            groups = ft.block_length_groups(count)
+            yield self.engine.timeout(
+                pack_cost_generic(self.node.memory, groups, cfg)
+            )
+            packed = pack(mem, base, ft, count)
+        elif mode == TransferMode.DMA:
+            # DMA path (the paper's Sec. 6 outlook): flatten-pack into
+            # registered memory with the fast ff loop, then DMA the chunks.
+            groups = ft.block_length_groups(count)
+            yield self.engine.timeout(
+                pack_cost_direct(self.node.memory, groups, cfg)
+            )
+            packed = pack(mem, base, ft, count)
+
+        pos = 0
+        index = 0
+        while pos < total:
+            n = min(ack.chunk_size, total - pos)
+            if packed is not None:
+                data = packed[pos : pos + n]
+                groups = [(n, 1)]
+                chunk_mode = (
+                    TransferMode.DMA if mode == TransferMode.DMA
+                    else TransferMode.CONTIGUOUS
+                )
+            elif mode == TransferMode.CONTIGUOUS:
+                data = pack_range(mem, base, ft, count, pos, n)
+                groups = [(n, 1)]
+                chunk_mode = mode
+            else:  # direct_pack_ff
+                data = pack_range(mem, base, ft, count, pos, n)
+                groups = block_groups_in_range(ft, count, pos, n)
+                chunk_mode = mode
+            yield from self._write_chunk(
+                dest, ack.region, data, chunk_mode, groups, src_cached
+            )
+            last = pos + n >= total
+            yield from self.send_ctrl(
+                dest, ChunkReady(index, n, last), to_channel=ack.chunk_channel
+            )
+            if not last:
+                credit = yield reply.get()
+                assert isinstance(credit, ChunkCredit)
+            pos += n
+            index += 1
+        # Final credit confirms the receiver drained the last chunk.
+        final = yield reply.get()
+        assert isinstance(final, ChunkCredit)
+
+    # -- receive -----------------------------------------------------------------------
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              context: int = 0):
+        """Blocking probe (DES generator); returns a Status without
+        consuming the message (MPI_Probe)."""
+        yield self.engine.timeout(self.config.call_overhead)
+        msg = yield self.match.post_probe(source, tag, context)
+        nbytes = (
+            msg.data.nbytes if isinstance(msg, ShortMsg)
+            else msg.nbytes
+        )
+        return Status(msg.envelope.source, msg.envelope.tag, nbytes)
+
+    def recv(self, buf: "Buffer", source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             datatype: Optional[Datatype] = None, count: Optional[int] = None,
+             context: int = 0):
+        """Blocking receive (DES generator); returns a Status."""
+        from ..datatypes.basic import BYTE
+
+        dtype = datatype if datatype is not None else BYTE
+        dtype.commit()
+        ft = dtype.flattened
+        if count is None:
+            if not dtype.is_contiguous:
+                raise MPIError("count is required for non-contiguous datatypes")
+            count = buf.nbytes // dtype.size if dtype.size else 0
+        capacity = ft.size * count
+        mem = buf.space.mem
+        base = buf.base
+        cfg = self.config
+        self.counters["recvs"] += 1
+        self._trace("recv.begin", source=source, tag=tag)
+        yield self.engine.timeout(cfg.call_overhead)
+
+        msg = yield self.match.post(source, tag, context)
+        self._trace("recv.matched", source=msg.envelope.source,
+                    message=type(msg).__name__)
+        mode = self._transfer_mode(dtype)
+        memory = self.node.memory
+
+        if isinstance(msg, ShortMsg):
+            n = msg.data.nbytes
+            if n > capacity:
+                raise MessageTruncated(f"short message of {n} B > buffer {capacity} B")
+            if not dtype.is_contiguous:
+                groups = block_groups_in_range(ft, count, 0, n)
+                yield self.engine.timeout(pack_cost_direct(memory, groups, cfg))
+            unpack_range(mem, base, ft, count, 0, msg.data)
+            if msg.sync_reply is not None:
+                yield from self.send_ctrl(msg.envelope.source, True,
+                                          to_channel=msg.sync_reply)
+            self._trace("recv.end", source=msg.envelope.source, protocol="short")
+            return Status(msg.envelope.source, msg.envelope.tag, n)
+
+        if isinstance(msg, EagerMsg):
+            n = msg.nbytes
+            if n > capacity:
+                raise MessageTruncated(f"eager message of {n} B > buffer {capacity} B")
+            region = self.eager_region
+            data = np.array(
+                region.local_view()[msg.slot_offset : msg.slot_offset + n], copy=True
+            )
+            if (mode in (TransferMode.DIRECT, TransferMode.DMA)
+                    and not dtype.is_contiguous):
+                groups = block_groups_in_range(ft, count, 0, n)
+                yield self.engine.timeout(pack_cost_direct(memory, groups, cfg))
+            elif mode == TransferMode.GENERIC:
+                yield self.engine.timeout(local_chunk_copy_cost(memory, n))
+                groups = block_groups_in_range(ft, count, 0, n)
+                yield self.engine.timeout(pack_cost_generic(memory, groups, cfg))
+            else:
+                yield self.engine.timeout(local_chunk_copy_cost(memory, n))
+            unpack_range(mem, base, ft, count, 0, data)
+            # Credit keyed by *this* rank at the sender's pool.
+            yield from self.send_ctrl(
+                msg.envelope.source, CreditReturn((self.rank, msg.slot_index))
+            )
+            if msg.sync_reply is not None:
+                yield from self.send_ctrl(msg.envelope.source, True,
+                                          to_channel=msg.sync_reply)
+            self._trace("recv.end", source=msg.envelope.source, protocol="eager")
+            return Status(msg.envelope.source, msg.envelope.tag, n)
+
+        assert isinstance(msg, RndvRequest)
+        total = msg.nbytes
+        if total > capacity:
+            raise MessageTruncated(f"rendezvous of {total} B > buffer {capacity} B")
+        yield self.rndv_lock.request()
+        try:
+            chunk_channel: Channel = Channel(self.engine, name=f"rndv-chunks-r{self.rank}")
+            ack = RndvAck(chunk_channel, self.rndv_region, cfg.rendezvous_chunk)
+            yield from self.send_ctrl(msg.envelope.source, ack, to_channel=msg.reply)
+
+            packed_tmp: Optional[np.ndarray] = (
+                np.empty(total, dtype=np.uint8)
+                if mode == TransferMode.GENERIC
+                else None
+            )
+            pos = 0
+            while pos < total:
+                ready: ChunkReady = yield chunk_channel.get()
+                n = ready.nbytes
+                data = np.array(self.rndv_region.local_view()[:n], copy=True)
+                if packed_tmp is not None:
+                    # Generic: protocol copy into the packed temp buffer.
+                    yield self.engine.timeout(local_chunk_copy_cost(memory, n))
+                    packed_tmp[pos : pos + n] = data
+                elif (mode in (TransferMode.DIRECT, TransferMode.DMA)
+                      and not dtype.is_contiguous):
+                    # Direct (and DMA) receivers unpack each chunk straight
+                    # into the user buffer with the ff loop.
+                    groups = block_groups_in_range(ft, count, pos, n)
+                    yield self.engine.timeout(pack_cost_direct(memory, groups, cfg))
+                    unpack_range(mem, base, ft, count, pos, data)
+                else:
+                    yield self.engine.timeout(local_chunk_copy_cost(memory, n))
+                    unpack_range(mem, base, ft, count, pos, data)
+                pos += n
+                yield from self.send_ctrl(
+                    msg.envelope.source, ChunkCredit(ready.index), to_channel=msg.reply
+                )
+            if packed_tmp is not None:
+                # Generic: the final recursive unpack of the whole message.
+                groups = ft.block_length_groups(count)
+                yield self.engine.timeout(pack_cost_generic(memory, groups, cfg))
+                unpack_range(mem, base, ft, count, 0, packed_tmp)
+        finally:
+            self.rndv_lock.release()
+        self._trace("recv.end", source=msg.envelope.source, protocol="rndv")
+        return Status(msg.envelope.source, msg.envelope.tag, total)
+
+    @staticmethod
+    def _recv_count(ft, nbytes: int) -> int:
+        return nbytes // ft.size if ft.size else 0

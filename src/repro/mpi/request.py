@@ -1,0 +1,82 @@
+"""Nonblocking-communication requests (MPI_Request)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sim import Engine, Process
+
+__all__ = ["Request"]
+
+
+class Request:
+    """Handle for an in-flight nonblocking operation.
+
+    Wraps the DES process running the blocking protocol; ``wait()`` is a
+    generator that joins it and returns its result (a Status for receives,
+    ``None`` for sends).
+    """
+
+    def __init__(self, engine: Engine, process: Process):
+        self.engine = engine
+        self._process = process
+
+    @property
+    def complete(self) -> bool:
+        return self._process.triggered
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: (done, result-or-None)."""
+        if self._process.triggered:
+            if not self._process.ok:
+                raise self._process.value
+            return True, self._process.value
+        return False, None
+
+    def wait(self):
+        """DES generator: block until the operation completes."""
+        result = yield self._process
+        return result
+
+    @staticmethod
+    def waitall(requests: list["Request"]):
+        """DES generator: wait for every request; returns their results."""
+        results = []
+        for req in requests:
+            results.append((yield req._process))
+        return results
+
+
+class PersistentRequest:
+    """A reusable communication request (MPI_Send_init / MPI_Recv_init).
+
+    ``start()`` launches one instance of the operation and returns the
+    active :class:`Request`; a persistent request may be started again
+    once the previous instance completed.
+    """
+
+    def __init__(self, engine: Engine, factory, name: str = "persistent"):
+        self.engine = engine
+        self._factory = factory
+        self._name = name
+        self._active: Request | None = None
+
+    @property
+    def active(self) -> bool:
+        return self._active is not None and not self._active.complete
+
+    def start(self) -> Request:
+        if self.active:
+            raise RuntimeError(
+                f"persistent request {self._name!r} started while still active"
+            )
+        proc = self.engine.process(self._factory(), name=self._name)
+        self._active = Request(self.engine, proc)
+        return self._active
+
+    def wait(self):
+        """DES generator: wait for the currently started instance."""
+        if self._active is None:
+            raise RuntimeError(f"persistent request {self._name!r} never started")
+        result = yield from self._active.wait()
+        return result

@@ -1,0 +1,38 @@
+"""Comparison platforms (S11): Table 1 catalogue + calibrated cost models."""
+
+from .base import AnalyticPlatform, PlatformSpec
+from .catalogue import (
+    PLATFORMS,
+    SCI_IDS,
+    TABLE1,
+    CatalogueEntry,
+    analytic_platforms,
+    platform_by_id,
+)
+from .machines import (
+    CrayT3E,
+    LamFastEthernet,
+    LamSharedMemory,
+    ScoreMyrinet,
+    ScoreSharedMemory,
+    SunFireGigabit,
+    SunFireSharedMemory,
+)
+
+__all__ = [
+    "AnalyticPlatform",
+    "CatalogueEntry",
+    "CrayT3E",
+    "LamFastEthernet",
+    "LamSharedMemory",
+    "PLATFORMS",
+    "PlatformSpec",
+    "SCI_IDS",
+    "ScoreMyrinet",
+    "ScoreSharedMemory",
+    "SunFireGigabit",
+    "SunFireSharedMemory",
+    "TABLE1",
+    "analytic_platforms",
+    "platform_by_id",
+]

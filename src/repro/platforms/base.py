@@ -1,0 +1,144 @@
+"""Comparison-platform cost models (Sec. 5.3, Table 1).
+
+The paper benchmarks SCI-MPICH against five other MPI platforms (Cray
+T3E, Sun Fire 6800, LAM on a Xeon SMP, SCore on a Myrinet cluster — each
+with a network and a shared-memory variant).  None of those machines is
+available, so each is modelled analytically, **calibrated from the
+behaviour the paper itself reports** (who wins, at which block sizes the
+efficiency steps are, which bandwidth caps apply).  These models exist to
+regenerate the *comparative shape* of Figs. 10-12; the SCI rows (M-S,
+M-s) come from the full simulator instead.
+
+The generic model:
+
+* contiguous one-way time: ``t(n) = latency + n / peak_bw``;
+* non-contiguous transfers pay two pack/unpack passes at ``memcpy_bw``
+  with a per-block cost (platforms with documented special handling
+  override ``noncontig_efficiency``);
+* one-sided accesses have their own per-call latency and bandwidth;
+* multi-process scaling divides a shared capacity (memory bus or
+  interconnect) among processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .._units import mib_s, to_mib_s
+
+__all__ = ["PlatformSpec", "AnalyticPlatform"]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One row of Table 1."""
+
+    id: str
+    machine: str
+    interconnect: str
+    mpi: str
+    supports_osc: bool
+    note: str = ""
+
+
+@dataclass
+class AnalyticPlatform:
+    """Analytic MPI performance model of one comparison platform."""
+
+    spec: PlatformSpec
+    #: One-way small-message latency (µs).
+    latency: float = 20.0
+    #: Peak contiguous MPI bandwidth (B/µs).
+    peak_bw: float = mib_s(80.0)
+    #: Local memory copy bandwidth for pack/unpack (B/µs).
+    memcpy_bw: float = mib_s(200.0)
+    #: Per-block cost of the generic pack loop (µs).
+    pack_block_cost: float = 0.15
+    #: One-sided per-call latency (µs); None when OSC is unsupported.
+    osc_latency: Optional[float] = None
+    #: One-sided streaming bandwidth (B/µs).
+    osc_bw: Optional[float] = None
+    #: Shared capacity divided among concurrent processes (B/µs) for the
+    #: Fig. 12 scaling experiment; None = no shared bottleneck.
+    shared_capacity: Optional[float] = None
+    #: Per-process ceiling for one-sided streaming in the scaling test.
+    per_proc_cap: Optional[float] = None
+
+    # -- point-to-point -------------------------------------------------------------
+
+    def contiguous_time(self, nbytes: int) -> float:
+        """One-way transfer time of a contiguous message (µs)."""
+        if nbytes < 0:
+            raise ValueError(f"negative size {nbytes}")
+        return self.latency + nbytes / self.peak_bw
+
+    def contiguous_bandwidth(self, nbytes: int) -> float:
+        """Contiguous bandwidth in MiB/s."""
+        return to_mib_s(nbytes / self.contiguous_time(nbytes))
+
+    def pack_time(self, nbytes: int, blocksize: int) -> float:
+        """One generic pack (or unpack) pass over ``nbytes``."""
+        if blocksize <= 0:
+            raise ValueError(f"non-positive blocksize {blocksize}")
+        nblocks = max(1, nbytes // blocksize)
+        return nblocks * self.pack_block_cost + nbytes / self.memcpy_bw
+
+    def noncontig_time(self, nbytes: int, blocksize: int) -> float:
+        """One-way transfer time of a strided message (µs).
+
+        Default: the generic pack-and-send technique — pack, contiguous
+        transfer, unpack, serialized (Fig. 4 top).  Platforms with special
+        datatype handling override ``noncontig_efficiency`` instead.
+        """
+        eff = self.noncontig_efficiency(nbytes, blocksize)
+        if eff is not None:
+            return self.contiguous_time(nbytes) / max(eff, 1e-6)
+        return self.contiguous_time(nbytes) + 2 * self.pack_time(nbytes, blocksize)
+
+    def noncontig_efficiency(self, nbytes: int, blocksize: int) -> Optional[float]:
+        """Efficiency override: nc bandwidth / contiguous bandwidth.
+
+        Return None to use the generic pack-and-send composition.
+        """
+        return None
+
+    def noncontig_bandwidth(self, nbytes: int, blocksize: int) -> float:
+        """Non-contiguous bandwidth in MiB/s."""
+        return to_mib_s(nbytes / self.noncontig_time(nbytes, blocksize))
+
+    # -- one-sided ---------------------------------------------------------------------
+
+    def osc_call_time(self, access_size: int, op: str = "put") -> float:
+        """Per-call latency of a fine-grained strided Put/Get (µs)."""
+        if not self.spec.supports_osc or self.osc_latency is None:
+            raise NotImplementedError(
+                f"{self.spec.id}: one-sided communication unsupported"
+            )
+        bw = self.osc_bw if self.osc_bw is not None else self.peak_bw
+        # Gets typically cost a bit more (request/response or remote read).
+        factor = 1.0 if op == "put" else 1.4
+        return self.osc_latency * factor + access_size / bw
+
+    def osc_bandwidth(self, access_size: int, op: str = "put") -> float:
+        """Effective strided-access bandwidth in MiB/s (sparse benchmark)."""
+        return to_mib_s(access_size / self.osc_call_time(access_size, op))
+
+    # -- scaling (Fig. 12) ------------------------------------------------------------------
+
+    def scaling_bandwidth(self, nprocs: int, access_size: int = 1024) -> float:
+        """Per-process one-sided put bandwidth with ``nprocs`` active (MiB/s).
+
+        "Bandwidth shown is the minimum of the per-process maximum
+        bandwidths achieved."  Default model: each process streams at its
+        sparse-access rate until the shared capacity saturates.
+        """
+        if nprocs < 1:
+            raise ValueError(f"need at least one process, got {nprocs}")
+        solo = self.osc_bandwidth(access_size, "put")
+        if self.per_proc_cap is not None:
+            solo = min(solo, to_mib_s(self.per_proc_cap))
+        if self.shared_capacity is None:
+            return solo
+        share = to_mib_s(self.shared_capacity) / nprocs
+        return min(solo, share)

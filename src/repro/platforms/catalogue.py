@@ -1,0 +1,92 @@
+"""Table 1: the platform catalogue, and the registry used by the benches.
+
+The SCI rows (M-S inter-node, M-s intra-node) are not analytic models —
+they are produced by the full simulator; the registry marks them so the
+benchmark harness dispatches accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .base import AnalyticPlatform, PlatformSpec
+from .machines import (
+    CrayT3E,
+    LamFastEthernet,
+    LamSharedMemory,
+    ScoreMyrinet,
+    ScoreSharedMemory,
+    SunFireGigabit,
+    SunFireSharedMemory,
+)
+
+__all__ = ["TABLE1", "PLATFORMS", "analytic_platforms", "platform_by_id", "SCI_IDS"]
+
+#: Specs of the simulator-backed SCI-MPICH rows of Table 1.
+_SCI_SPEC = PlatformSpec(
+    "M-S", "Pentium III dual SMP (800 MHz, 64-bit PCI)", "SCI",
+    "MP-MPICH 1.2.1 beta", supports_osc=True,
+)
+_SHM_SPEC = PlatformSpec(
+    "M-s", "Pentium III dual SMP (800 MHz, 64-bit PCI)", "shared memory",
+    "MP-MPICH 1.2.1 beta", supports_osc=True,
+)
+
+#: Ids served by the simulator rather than an analytic model.
+SCI_IDS = ("M-S", "M-s")
+
+
+@dataclass(frozen=True)
+class CatalogueEntry:
+    spec: PlatformSpec
+    model: Optional[AnalyticPlatform]  # None -> full simulator
+
+    @property
+    def simulated(self) -> bool:
+        return self.model is None
+
+
+def _build() -> dict[str, CatalogueEntry]:
+    analytic = [
+        CrayT3E(),
+        SunFireGigabit(),
+        SunFireSharedMemory(),
+        LamFastEthernet(),
+        LamSharedMemory(),
+        ScoreMyrinet(),
+        ScoreSharedMemory(),
+    ]
+    entries = {p.spec.id: CatalogueEntry(p.spec, p) for p in analytic}
+    entries["M-S"] = CatalogueEntry(_SCI_SPEC, None)
+    entries["M-s"] = CatalogueEntry(_SHM_SPEC, None)
+    return entries
+
+
+PLATFORMS: dict[str, CatalogueEntry] = _build()
+
+#: Table 1, in the paper's row order.
+TABLE1: list[PlatformSpec] = [
+    PLATFORMS[i].spec
+    for i in ("C", "F-G", "F-s", "M-S", "M-s", "X-f", "X-s", "S-M", "S-s")
+]
+
+
+def platform_by_id(pid: str) -> CatalogueEntry:
+    try:
+        return PLATFORMS[pid]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform id {pid!r}; known: {sorted(PLATFORMS)}"
+        ) from None
+
+
+def analytic_platforms(osc_only: bool = False) -> list[AnalyticPlatform]:
+    out = []
+    for entry in PLATFORMS.values():
+        if entry.model is None:
+            continue
+        if osc_only and not entry.spec.supports_osc:
+            continue
+        out.append(entry.model)
+    return out

@@ -1,0 +1,197 @@
+"""The concrete comparison platforms of Table 1, calibrated from Sec. 5.3.
+
+Calibration anchors taken from the paper's text:
+
+* **Cray T3E (C)** — "reaches an efficiency of about 1 for blocksizes
+  between 8 and 32 kiB, but has a very low efficiency for very small
+  (< 4 kiB) and big (> 32 kiB) blocksizes"; OSC "in the same range as the
+  performance of SCI-MPICH for SCI remote shared memory", "uneven, but
+  regular bandwidth characteristics constant for up to 32 processes".
+* **Sun Fire 6800 (F-s/F-G)** — shm noncontig "very constant efficiency,
+  which jumps from 0.5 to 1 for blocksizes of 16k and above"; "very good
+  performance for shared memory communication" in the sparse benchmark;
+  scaling "better, but even its bandwidth declines notably for more than
+  6 active processes"; no OSC over the network (F-G).
+* **LAM 6.5.4 on the Xeon SMP (X-f/X-s)** — "very high latencies and ...
+  a maximum of 10 MiB bandwidth via fast ethernet"; "performance of the
+  shared memory implementation is a little bit lower than SCI-MPICH via
+  SCI"; "platforms with an inferior memory system design like the 4-way
+  Xeon SMP scale very badly for coarse-grained accesses and deliver a
+  bandwidth below the SCI-connected system".
+* **SCore/Myrinet (S-M/S-s)** — no one-sided support; generic datatype
+  handling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .._units import KiB, mib_s
+from .base import AnalyticPlatform, PlatformSpec
+
+__all__ = [
+    "CrayT3E",
+    "SunFireSharedMemory",
+    "SunFireGigabit",
+    "LamFastEthernet",
+    "LamSharedMemory",
+    "ScoreMyrinet",
+    "ScoreSharedMemory",
+]
+
+
+class CrayT3E(AnalyticPlatform):
+    """Cray T3E-1200 with Cray MPI (id C)."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            spec=PlatformSpec(
+                "C", "Cray T3E-1200", "custom", "Cray MPI", supports_osc=True
+            ),
+            latency=14.0,
+            peak_bw=mib_s(300.0),
+            memcpy_bw=mib_s(350.0),
+            pack_block_cost=0.25,
+            osc_latency=4.0,
+            osc_bw=mib_s(140.0),
+            shared_capacity=None,  # E-registers: no shared bottleneck to 32
+        )
+
+    def noncontig_efficiency(self, nbytes: int, blocksize: int) -> Optional[float]:
+        # Efficient only in the 8-32 kiB band.
+        if 8 * KiB <= blocksize <= 32 * KiB:
+            return 0.95
+        if blocksize < 4 * KiB:
+            # Decaying with smaller blocks: 0.25 at 4 kiB down to ~0.04 at 8 B.
+            return max(0.04, 0.25 * blocksize / (4 * KiB))
+        if blocksize > 32 * KiB:
+            return 0.30
+        return 0.25 + 0.70 * (blocksize - 4 * KiB) / (4 * KiB)
+
+    def osc_bandwidth(self, access_size: int, op: str = "put") -> float:
+        # The T3E's "uneven, but regular" characteristic: a mild periodic
+        # modulation on top of the smooth curve (E-register block effects).
+        base = super().osc_bandwidth(access_size, op)
+        wobble = 1.0 + 0.18 * math.cos(math.log2(max(access_size, 1)) * math.pi)
+        return base * wobble
+
+
+class SunFireSharedMemory(AnalyticPlatform):
+    """Sun Fire 6800, 24-way SMP, Sun HPC 3.1 shared memory (id F-s)."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            spec=PlatformSpec(
+                "F-s", "Sun Fire 6800 (24-way SMP, 750 MHz)", "shared memory",
+                "Sun HPC 3.1", supports_osc=True
+            ),
+            latency=2.5,
+            peak_bw=mib_s(380.0),
+            memcpy_bw=mib_s(400.0),
+            pack_block_cost=0.10,
+            osc_latency=1.1,
+            osc_bw=mib_s(350.0),
+            shared_capacity=mib_s(1900.0),  # backplane
+        )
+
+    def noncontig_efficiency(self, nbytes: int, blocksize: int) -> Optional[float]:
+        # The documented step: 0.5 below 16 kiB, 1.0 at and above.
+        return 1.0 if blocksize >= 16 * KiB else 0.5
+
+    def scaling_bandwidth(self, nprocs: int, access_size: int = 1024) -> float:
+        # Scales well to ~6 processes, then the backplane share declines.
+        base = super().scaling_bandwidth(nprocs, access_size)
+        if nprocs > 6:
+            base *= max(0.45, 1.0 - 0.08 * (nprocs - 6))
+        return base
+
+
+class SunFireGigabit(AnalyticPlatform):
+    """Sun Fire 6800 over Gigabit Ethernet (id F-G); no one-sided support."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            spec=PlatformSpec(
+                "F-G", "Sun Fire 6800 (24-way SMP, 750 MHz)", "Gigabit Ethernet",
+                "Sun HPC 3.1", supports_osc=False,
+                note="Myrinet installed but not yet available",
+            ),
+            latency=55.0,
+            peak_bw=mib_s(42.0),
+            memcpy_bw=mib_s(400.0),
+            pack_block_cost=0.10,
+        )
+
+
+class LamFastEthernet(AnalyticPlatform):
+    """LAM 6.5.4 over fast ethernet on the quad-Xeon SMP (id X-f)."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            spec=PlatformSpec(
+                "X-f", "Pentium III Xeon quad SMP (550 MHz)", "fast ethernet",
+                "LAM 6.5.4", supports_osc=True,
+            ),
+            latency=70.0,
+            peak_bw=mib_s(10.8),
+            memcpy_bw=mib_s(180.0),
+            pack_block_cost=0.12,
+            osc_latency=95.0,       # "very high latencies"
+            osc_bw=mib_s(10.0),     # "maximum of 10 MiB bandwidth"
+            shared_capacity=mib_s(11.0),
+        )
+
+
+class LamSharedMemory(AnalyticPlatform):
+    """LAM 6.5.4 shared memory on the quad-Xeon SMP (id X-s)."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            spec=PlatformSpec(
+                "X-s", "Pentium III Xeon quad SMP (550 MHz)", "shared memory",
+                "LAM 6.5.4", supports_osc=True,
+                note="only MPI_Get(); MPI_Put() deadlocked",
+            ),
+            latency=6.0,
+            peak_bw=mib_s(150.0),
+            memcpy_bw=mib_s(160.0),
+            pack_block_cost=0.12,
+            # "a little bit lower than SCI-MPICH via SCI".
+            osc_latency=3.2,
+            osc_bw=mib_s(95.0),
+            # "inferior memory system ... scales very badly": a slim bus.
+            shared_capacity=mib_s(190.0),
+        )
+
+
+class ScoreMyrinet(AnalyticPlatform):
+    """SCore 2.4.1 over Myrinet 1280 on dual P-II nodes (id S-M)."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            spec=PlatformSpec(
+                "S-M", "Pentium II dual SMP (400 MHz, 32-bit PCI)", "Myrinet 1280",
+                "SCore 2.4.1", supports_osc=False,
+            ),
+            latency=18.0,
+            peak_bw=mib_s(72.0),
+            memcpy_bw=mib_s(140.0),
+            pack_block_cost=0.18,
+        )
+
+
+class ScoreSharedMemory(AnalyticPlatform):
+    """SCore 2.4.1 shared memory on dual P-II nodes (id S-s)."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            spec=PlatformSpec(
+                "S-s", "Pentium II dual SMP (400 MHz, 32-bit PCI)", "shared memory",
+                "SCore 2.4.1", supports_osc=False,
+            ),
+            latency=4.0,
+            peak_bw=mib_s(110.0),
+            memcpy_bw=mib_s(140.0),
+            pack_block_cost=0.18,
+        )

@@ -1,0 +1,138 @@
+"""The discrete-event simulation engine.
+
+The engine owns the clock (µs, ``float``) and a priority queue of triggered
+events.  :meth:`Engine.run` pops events in time order, runs their callbacks
+(which typically resume suspended processes), and stops when the queue is
+empty or an optional horizon is reached.
+
+The engine is deterministic: events scheduled for the same instant are
+processed in trigger order (FIFO), so repeated runs of the same program
+produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Optional
+
+from .errors import Deadlock, SimError
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process, ProcessGenerator
+
+
+class Engine:
+    """Deterministic discrete-event simulation engine."""
+
+    def __init__(self) -> None:
+        #: Current simulated time in µs.
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = count()
+        self._live_processes: set[Process] = set()
+        self._active_process: Optional[Process] = None
+        #: Count of events processed so far (diagnostics / perf counters).
+        self.events_processed: int = 0
+
+    # -- factory helpers ------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create an untriggered event bound to this engine."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """Create an event that fires ``delay`` µs from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: ProcessGenerator, name: str = "",
+                daemon: bool = False) -> Process:
+        """Start a new process running ``generator``.
+
+        ``daemon=True`` marks service loops that are expected to remain
+        blocked forever; they are exempt from deadlock detection.
+        """
+        return Process(self, generator, name=name, daemon=daemon)
+
+    def all_of(self, events: list[Event], name: str = "") -> AllOf:
+        """Event firing once every event in ``events`` has fired."""
+        return AllOf(self, events, name=name)
+
+    def any_of(self, events: list[Event], name: str = "") -> AnyOf:
+        """Event firing once any event in ``events`` has fired."""
+        return AnyOf(self, events, name=name)
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing (None between process steps)."""
+        return self._active_process
+
+    # -- scheduling (internal API used by Event) ------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), event))
+
+    def _register_process(self, process: Process) -> None:
+        self._live_processes.add(process)
+
+    def _unregister_process(self, process: Process) -> None:
+        self._live_processes.discard(process)
+
+    # -- execution -------------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        if when < self.now:  # pragma: no cover - defensive; cannot happen
+            raise SimError(f"time went backwards: {when} < {self.now}")
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        self.events_processed += 1
+        if not event.ok and not event.defused:
+            # A failure nobody handled: surface it instead of silently
+            # dropping it (mirrors SimPy semantics).
+            exc = event.value
+            raise exc
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation.
+
+        With ``until=None`` runs until the event queue drains; raises
+        :class:`~repro.sim.errors.Deadlock` if live processes remain blocked
+        at that point.  With a numeric ``until`` runs until simulated time
+        reaches it (events at exactly ``until`` are *not* processed) and
+        never raises Deadlock.  Returns the final simulated time.
+        """
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] >= until:
+                self.now = until
+                return self.now
+            self.step()
+        stuck = [p for p in self._live_processes if not p.daemon]
+        if until is None and stuck:
+            waiting = sorted(f"{p.name} (on {p.waiting_on!r})" for p in stuck)
+            raise Deadlock(waiting)
+        if until is not None:
+            self.now = until
+        return self.now
+
+    def run_process(self, generator: ProcessGenerator, name: str = "") -> Any:
+        """Convenience: start ``generator`` as a process, run to completion,
+        and return the process's return value."""
+        proc = self.process(generator, name=name)
+        self.run()
+        if not proc.triggered:  # pragma: no cover - defensive
+            raise SimError(f"process {proc.name!r} never completed")
+        if not proc.ok:
+            raise proc.value
+        return proc.value

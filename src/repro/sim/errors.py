@@ -1,0 +1,30 @@
+"""Exception types raised by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class Deadlock(SimError):
+    """The event queue drained while processes were still waiting.
+
+    Raised by :meth:`repro.sim.engine.Engine.run` when ``run`` is asked to run
+    to completion but live processes remain blocked on events that can never
+    fire.  This is the DES equivalent of an MPI program hanging in a recv
+    with no matching send.
+    """
+
+    def __init__(self, waiting: list[str]):
+        self.waiting = waiting
+        detail = ", ".join(waiting) if waiting else "<unknown>"
+        super().__init__(f"deadlock: {len(waiting)} process(es) still waiting: {detail}")
+
+
+class EventAlreadyTriggered(SimError):
+    """An event was succeeded or failed twice."""
+
+
+class InvalidYield(SimError):
+    """A process generator yielded something that is not an Event."""

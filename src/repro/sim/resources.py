@@ -1,0 +1,92 @@
+"""Counted resources and mutual exclusion for the simulation kernel.
+
+:class:`Resource` is a counting semaphore with FIFO queueing;
+:class:`Lock` is the single-slot special case used for spinlock modelling.
+Both hand out *request events* that fire once the resource is granted, and
+require an explicit ``release``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Engine
+
+
+class Resource:
+    """Counting semaphore with FIFO grant order."""
+
+    def __init__(self, engine: "Engine", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Request a slot; the returned event fires when granted."""
+        ev = Event(self.engine, name=f"{self.name}:request")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def try_request(self) -> bool:
+        """Non-blocking request; True when a slot was granted."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Release a previously granted slot, waking the oldest waiter."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release of unheld resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot directly to the next waiter; _in_use is unchanged.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+    def held(self, body):
+        """Generator combinator: run ``body`` (a generator) holding the resource.
+
+        Usage inside a process::
+
+            result = yield from resource.held(work())
+        """
+        yield self.request()
+        try:
+            result = yield from body
+        finally:
+            self.release()
+        return result
+
+
+class Lock(Resource):
+    """Mutual exclusion lock (capacity-1 resource)."""
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        super().__init__(engine, capacity=1, name=name)
+
+    @property
+    def locked(self) -> bool:
+        return self._in_use > 0

@@ -1,0 +1,123 @@
+"""Execution tracing for simulated MPI programs.
+
+A :class:`Tracer` records timestamped events (MPI call begin/end, protocol
+choices, transfers) per rank, and can summarize where simulated time went —
+the simulator's answer to tools like VampirTrace on real clusters.
+
+Enable on a cluster::
+
+    cluster = Cluster(n_nodes=2)
+    tracer = attach_tracer(cluster)
+    cluster.run(program)
+    print(tracer.summary())
+
+Tracing is opt-in and zero-cost when not attached (the device checks a
+single attribute).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cluster.builder import Cluster
+
+__all__ = ["TraceEvent", "Tracer", "attach_tracer", "TraceSpan"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One point event in the trace."""
+
+    time: float
+    rank: int
+    kind: str            # e.g. "send.begin", "send.end", "recv.begin"
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """A matched begin/end pair."""
+
+    rank: int
+    kind: str            # e.g. "send"
+    start: float
+    end: float
+    detail: dict
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects trace events and computes per-rank time summaries."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(self, time: float, rank: int, kind: str, **detail: Any) -> None:
+        self.events.append(TraceEvent(time, rank, kind, detail))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def for_rank(self, rank: int) -> list[TraceEvent]:
+        return [ev for ev in self.events if ev.rank == rank]
+
+    def spans(self, kind: Optional[str] = None) -> Iterator[TraceSpan]:
+        """Match ``<op>.begin`` / ``<op>.end`` pairs into spans, per rank.
+
+        Nested or overlapping spans of the same op on one rank match
+        LIFO (communication calls in this library do not overlap per
+        rank, so in practice this is exact).
+        """
+        open_stacks: dict[tuple[int, str], list[TraceEvent]] = defaultdict(list)
+        for ev in self.events:
+            if ev.kind.endswith(".begin"):
+                op = ev.kind[: -len(".begin")]
+                open_stacks[(ev.rank, op)].append(ev)
+            elif ev.kind.endswith(".end"):
+                op = ev.kind[: -len(".end")]
+                stack = open_stacks.get((ev.rank, op))
+                if stack:
+                    begin = stack.pop()
+                    span = TraceSpan(ev.rank, op, begin.time, ev.time,
+                                     {**begin.detail, **ev.detail})
+                    if kind is None or kind == op:
+                        yield span
+
+    def time_in(self, rank: int, op: str) -> float:
+        """Total simulated time rank spent inside ``op`` calls."""
+        return sum(s.duration for s in self.spans(op) if s.rank == rank)
+
+    def summary(self) -> str:
+        """Per-rank, per-op time table."""
+        per: dict[int, dict[str, float]] = defaultdict(lambda: defaultdict(float))
+        counts: dict[int, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        for span in self.spans():
+            per[span.rank][span.kind] += span.duration
+            counts[span.rank][span.kind] += 1
+        lines = ["trace summary (simulated µs)"]
+        for rank in sorted(per):
+            parts = [
+                f"{op}: {per[rank][op]:9.1f} ({counts[rank][op]}x)"
+                for op in sorted(per[rank])
+            ]
+            lines.append(f"  rank {rank}: " + "  ".join(parts))
+        if len(lines) == 1:
+            lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+
+
+def attach_tracer(cluster: "Cluster") -> Tracer:
+    """Attach a tracer to every rank device of ``cluster``.
+
+    Must be called before the program runs; returns the Tracer.
+    """
+    tracer = Tracer()
+    for device in cluster.world.devices:
+        device.tracer = tracer
+    return tracer

@@ -1,0 +1,33 @@
+"""Every paper-anchored calibration target must hold (regression guard).
+
+If a change to the hardware cost models drifts away from the paper's
+numbers, this is the test that says so — with the anchor's source quoted
+in the failure message.
+"""
+
+import pytest
+
+from repro.bench.calibration import TARGETS, check_all, report
+
+
+@pytest.mark.parametrize("target", TARGETS, ids=lambda t: t.name)
+def test_calibration_target(target):
+    measured = target.measured()
+    assert target.ok(), (
+        f"{target.name}: paper {target.paper_value} {target.unit} "
+        f"({target.source}), measured {measured:.2f}, tolerance "
+        f"{target.rel_tol:.0%}"
+    )
+
+
+def test_report_renders():
+    text = report()
+    assert "calibration report" in text
+    assert all(t.name in text for t in TARGETS)
+    assert "✗" not in text
+
+
+def test_check_all_shape():
+    results = check_all()
+    assert len(results) == len(TARGETS)
+    assert all(isinstance(ok, bool) for _, _, ok in results)

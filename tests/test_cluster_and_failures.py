@@ -1,0 +1,182 @@
+"""Tests for the cluster façade, rank placement, and failure injection."""
+
+import numpy as np
+import pytest
+
+from repro._units import KiB, MiB
+from repro.cluster import Cluster
+from repro.hardware import DEFAULT_NODE
+from repro.hardware.sci import SCIConnectionError, TorusTopology
+from repro.sim import Deadlock
+
+
+class TestClusterBuilder:
+    def test_rank_placement_block(self):
+        cluster = Cluster(n_nodes=2, procs_per_node=3)
+        assert cluster.n_ranks == 6
+        assert cluster.smi.rank_to_node == [0, 0, 0, 1, 1, 1]
+
+    def test_same_node_detection(self):
+        cluster = Cluster(n_nodes=2, procs_per_node=2)
+        assert cluster.smi.same_node(0, 1)
+        assert not cluster.smi.same_node(1, 2)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            Cluster(n_nodes=0)
+        with pytest.raises(ValueError):
+            Cluster(n_nodes=1, procs_per_node=0)
+
+    def test_run_returns_results_in_rank_order(self):
+        def program(ctx):
+            yield ctx.cluster.engine.timeout(float(10 - ctx.rank))
+            return ctx.rank * 2
+
+        run = Cluster(n_nodes=3).run(program)
+        assert run.results == [0, 2, 4]
+
+    def test_run_on_ranks_subset(self):
+        def worker(ctx):
+            yield ctx.cluster.engine.timeout(1.0)
+            return f"r{ctx.rank}"
+
+        cluster = Cluster(n_nodes=4)
+        run = cluster.run_on_ranks({0: worker, 2: worker})
+        assert run.results == ["r0", "r2"]
+
+    def test_torus_cluster(self):
+        cluster = Cluster(n_nodes=8, topology=TorusTopology((2, 2, 2)))
+
+        def program(ctx):
+            comm = ctx.comm
+            buf = ctx.alloc(1 * KiB)
+            peer = (comm.rank + 1) % comm.size
+            src = (comm.rank - 1) % comm.size
+            out = ctx.alloc(1 * KiB)
+            buf.fill(comm.rank + 1)
+            yield from comm.sendrecv(buf, peer, out, src)
+            return out.read(0, 1)[0]
+
+        run = cluster.run(program)
+        assert run.results == [(r - 1) % 8 + 1 for r in range(8)]
+
+    def test_custom_link_frequency(self):
+        fast = Cluster(n_nodes=2, node_params=DEFAULT_NODE.with_link_mhz(200.0))
+        assert fast.fabric.node_params.link.bandwidth == pytest.approx(800.0)
+
+    def test_wtime_and_now(self):
+        def program(ctx):
+            yield ctx.cluster.engine.timeout(1234.0)
+            return (ctx.now, ctx.wtime())
+
+        run = Cluster(n_nodes=1).run(program)
+        now, wtime = run.results[0]
+        assert now == 1234.0
+        assert wtime == pytest.approx(1234e-6)
+
+    def test_deadlocked_program_detected(self):
+        """Two ranks both blocking-recv first: textbook MPI deadlock."""
+
+        def program(ctx):
+            comm = ctx.comm
+            buf = ctx.alloc(64)
+            peer = 1 - comm.rank
+            yield from comm.recv(buf, source=peer, tag=0)
+            yield from comm.send(buf, dest=peer, tag=0)
+
+        with pytest.raises(Deadlock):
+            Cluster(n_nodes=2).run(program)
+
+    def test_memory_budget_respected(self):
+        cluster = Cluster(n_nodes=1, mem_per_node=8 * MiB)
+        assert cluster.nodes[0].space.size == 8 * MiB
+
+
+class TestFailureInjection:
+    def test_send_to_failed_node_raises(self):
+        cluster = Cluster(n_nodes=3)
+        cluster.fabric.fail_node(2)
+
+        def program(ctx):
+            comm = ctx.comm
+            buf = ctx.alloc(64 * KiB)
+            if comm.rank == 0:
+                yield from comm.send(buf, dest=2, tag=0)
+            elif comm.rank == 2:
+                yield from comm.recv(buf, source=0, tag=0)
+            else:
+                return "idle"
+
+        with pytest.raises(SCIConnectionError):
+            cluster.run(program)
+
+    def test_broken_segment_detected_by_monitoring(self):
+        cluster = Cluster(n_nodes=4)
+        assert cluster.fabric.ping(0, 2)
+        cluster.fabric.fail_segment(1)
+        assert not cluster.fabric.ping(0, 2)
+        cluster.fabric.restore_segment(1)
+        assert cluster.fabric.ping(0, 2)
+
+    def test_traffic_resumes_after_restore(self):
+        cluster = Cluster(n_nodes=2)
+        cluster.fabric.fail_node(1)
+        cluster.fabric.restore_node(1)
+
+        def program(ctx):
+            comm = ctx.comm
+            buf = ctx.alloc(1 * KiB)
+            if comm.rank == 0:
+                buf.fill(5)
+                yield from comm.send(buf, dest=1, tag=0)
+                return None
+            yield from comm.recv(buf, source=0, tag=0)
+            return buf.read(0, 1)[0]
+
+        assert cluster.run(program).results[1] == 5
+
+    def test_failure_mid_simulation(self):
+        """A node failing between two transfers breaks only the second."""
+        cluster = Cluster(n_nodes=2)
+        outcome = {}
+
+        def killer():
+            yield cluster.engine.timeout(50.0)
+            cluster.fabric.fail_node(1)
+
+        def program(ctx):
+            comm = ctx.comm
+            buf = ctx.alloc(4 * KiB)  # eager: completes well before t=50
+            if comm.rank == 0:
+                yield from comm.send(buf, dest=1, tag=0)
+                outcome["first"] = "ok"
+                yield ctx.cluster.engine.timeout(100.0)
+                try:
+                    yield from comm.send(buf, dest=1, tag=1)
+                except SCIConnectionError:
+                    outcome["second"] = "failed"
+                return None
+            yield from comm.recv(buf, source=0, tag=0)
+            # The second message never arrives; just wait bounded time.
+            yield ctx.cluster.engine.timeout(10_000.0)
+            return None
+
+        cluster.engine.process(killer(), daemon=True)
+        cluster.run(program)
+        assert outcome.get("first") == "ok"
+        assert outcome.get("second") == "failed"
+
+    def test_osc_put_to_failed_node(self):
+        cluster = Cluster(n_nodes=2)
+
+        def program(ctx):
+            comm = ctx.comm
+            win = yield from comm.win_create(1 * KiB, shared=True)
+            yield from win.fence()
+            if comm.rank == 0:
+                ctx.cluster.fabric.fail_node(1)
+                yield from win.put(np.ones(512, dtype=np.uint8), 1, 0)
+            yield from win.fence()
+
+        with pytest.raises(SCIConnectionError):
+            cluster.run(program)

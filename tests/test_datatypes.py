@@ -1,0 +1,225 @@
+"""Tests for MPI datatype construction, commit and flattening."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    Contiguous,
+    DatatypeError,
+    Hindexed,
+    Hvector,
+    Indexed,
+    Resized,
+    Struct,
+    Vector,
+)
+from repro.mpi.flatten import Level, build_flattened, leaves_of
+
+
+class TestBasicTypes:
+    def test_sizes(self):
+        assert BYTE.size == 1
+        assert INT.size == 4
+        assert DOUBLE.size == 8
+        assert FLOAT.extent == 4
+
+    def test_basic_is_contiguous(self):
+        assert DOUBLE.is_contiguous
+        assert DOUBLE.depth == 1
+
+
+class TestContiguous:
+    def test_size_extent(self):
+        t = Contiguous(10, DOUBLE)
+        assert t.size == 80 and t.extent == 80 and t.lb == 0
+
+    def test_flatten_merges_to_single_block(self):
+        ft = Contiguous(10, DOUBLE).commit().flattened
+        assert len(ft.leaves) == 1
+        leaf = ft.leaves[0]
+        assert leaf.size == 80 and leaf.levels == ()
+
+    def test_nested_contiguous_still_single_block(self):
+        t = Contiguous(4, Contiguous(5, INT))
+        ft = t.commit().flattened
+        assert len(ft.leaves) == 1 and ft.leaves[0].size == 80
+
+    def test_zero_count(self):
+        t = Contiguous(0, INT).commit()
+        assert t.size == 0 and t.extent == 0
+        assert t.flattened.leaves == ()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DatatypeError):
+            Contiguous(-1, INT)
+
+
+class TestVector:
+    def test_paper_noncontig_vector(self):
+        """The noncontig benchmark's type: blocks of doubles, gap = block."""
+        t = Vector(count=16, blocklength=1, stride=2, oldtype=DOUBLE)
+        assert t.size == 128
+        assert t.extent == (16 - 1) * 16 + 8
+        ft = t.commit().flattened
+        assert len(ft.leaves) == 1
+        leaf = ft.leaves[0]
+        assert leaf.size == 8
+        assert leaf.levels == (Level(16, 16),)
+
+    def test_blocklength_merges_into_block(self):
+        t = Vector(count=4, blocklength=3, stride=5, oldtype=INT)
+        leaf = t.commit().flattened.leaves[0]
+        assert leaf.size == 12  # 3 ints fused into one block
+        assert leaf.levels == (Level(4, 20),)
+
+    def test_unit_stride_vector_is_contiguous(self):
+        t = Vector(count=8, blocklength=1, stride=1, oldtype=DOUBLE).commit()
+        assert t.is_contiguous
+
+    def test_hvector_byte_stride(self):
+        t = Hvector(count=3, blocklength=1, stride_bytes=100, oldtype=INT)
+        assert t.extent == 204
+        leaf = t.commit().flattened.leaves[0]
+        assert leaf.levels == (Level(3, 100),)
+
+    def test_negative_stride(self):
+        t = Hvector(count=3, blocklength=1, stride_bytes=-16, oldtype=DOUBLE)
+        assert t.lb == -32
+        assert t.size == 24
+        offs = t.commit().flattened.leaves[0].block_offsets()
+        assert list(offs) == [0, -16, -32]
+
+    def test_vector_of_vector_two_levels(self):
+        inner = Vector(count=4, blocklength=1, stride=2, oldtype=DOUBLE)
+        outer = Hvector(count=3, blocklength=1, stride_bytes=256, oldtype=inner)
+        leaf = outer.commit().flattened.leaves[0]
+        assert leaf.levels == (Level(3, 256), Level(4, 16))
+        assert outer.depth == 3
+
+
+class TestIndexed:
+    def test_block_offsets(self):
+        t = Indexed(blocklengths=[2, 1], displacements=[0, 5], oldtype=INT)
+        ft = t.commit().flattened
+        assert t.size == 12
+        # Two leaves: one 8-byte block at 0, one 4-byte block at 20.
+        assert [(l.offset, l.size) for l in ft.leaves] == [(0, 8), (20, 4)]
+
+    def test_adjacent_entries_merge(self):
+        t = Hindexed(blocklengths=[1, 1], displacements_bytes=[0, 4], oldtype=INT)
+        ft = t.commit().flattened
+        assert len(ft.leaves) == 1 and ft.leaves[0].size == 8
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DatatypeError):
+            Indexed([1, 2], [0], INT)
+
+
+class TestStruct:
+    def make_paper_struct(self):
+        """The Fig. 3 struct: an int, two chars, and trailing gap to 12 B."""
+        inner = Struct(
+            blocklengths=[1, 2],
+            displacements_bytes=[0, 4],
+            types=[INT, CHAR],
+        )
+        return Resized(inner, lb=0, extent=12)
+
+    def test_paper_struct_merges_int_and_chars(self):
+        """Fig. 5: the int at 0 and chars at 4 are adjacent -> one 6 B block."""
+        ft = self.make_paper_struct().commit().flattened
+        assert len(ft.leaves) == 1
+        assert ft.leaves[0] .size == 6
+        assert ft.leaves[0].offset == 0
+
+    def test_vector_of_struct(self):
+        """Fig. 3's full type: a vector of the struct."""
+        struct = self.make_paper_struct()
+        vec = Hvector(count=8, blocklength=1, stride_bytes=12, oldtype=struct)
+        ft = vec.commit().flattened
+        assert ft.size == 8 * 6
+        assert len(ft.leaves) == 1
+        assert ft.leaves[0].levels == (Level(8, 12),)
+
+    def test_struct_with_gap_keeps_two_leaves(self):
+        t = Struct(
+            blocklengths=[1, 1],
+            displacements_bytes=[0, 16],
+            types=[DOUBLE, DOUBLE],
+        )
+        ft = t.commit().flattened
+        assert len(ft.leaves) == 2
+        assert ft.leaves[1].offset == 16
+
+    def test_heterogeneous_block_sizes(self):
+        t = Struct(
+            blocklengths=[1, 1],
+            displacements_bytes=[0, 32],
+            types=[INT, DOUBLE],
+        )
+        ft = t.commit().flattened
+        assert ft.uniform_block_size() is None
+        assert ft.block_length_groups() == [(4, 1), (8, 1)]
+
+
+class TestResized:
+    def test_extent_override(self):
+        t = Resized(DOUBLE, lb=0, extent=32)
+        assert t.size == 8 and t.extent == 32
+
+    def test_tiling_with_padding(self):
+        padded = Resized(INT, lb=0, extent=16)
+        arr = Contiguous(4, padded).commit()
+        offs = []
+        for leaf in arr.flattened.leaves:
+            offs.extend(leaf.block_offsets())
+        assert offs == [0, 16, 32, 48]
+
+
+class TestFlattenedQueries:
+    def test_block_count_and_depth(self):
+        vec = Vector(count=10, blocklength=1, stride=3, oldtype=DOUBLE).commit()
+        ft = vec.flattened
+        assert ft.block_count == 10
+        assert ft.max_depth == 1
+
+    def test_span(self):
+        t = Hvector(count=3, blocklength=1, stride_bytes=-16, oldtype=DOUBLE).commit()
+        assert t.flattened.span() == (-32, 8)
+
+    def test_find_position_basics(self):
+        vec = Vector(count=4, blocklength=1, stride=2, oldtype=DOUBLE).commit()
+        ft = vec.flattened
+        pos = ft.find_position(0, count=2)
+        assert (pos.instance, pos.leaf_index, pos.block_index, pos.byte_in_block) == (0, 0, 0, 0)
+        pos = ft.find_position(12, count=2)
+        assert (pos.instance, pos.block_index, pos.byte_in_block) == (0, 1, 4)
+        pos = ft.find_position(35, count=2)  # second instance, byte 3
+        assert (pos.instance, pos.block_index, pos.byte_in_block) == (1, 0, 3)
+        end = ft.find_position(64, count=2)
+        assert end.instance == 2
+
+    def test_find_position_out_of_range(self):
+        ft = Contiguous(2, INT).commit().flattened
+        with pytest.raises(ValueError):
+            ft.find_position(9, count=1)
+
+    def test_leaf_block_offset_at_matches_array(self):
+        vec = Hvector(3, 2, 64, Vector(2, 1, 3, INT)).commit()
+        for leaf in vec.flattened.leaves:
+            offs = leaf.block_offsets()
+            for i in range(leaf.block_count):
+                assert leaf.block_offset_at(i) == offs[i]
+            assert np.array_equal(leaf.block_offsets_range(1, leaf.block_count), offs[1:])
+
+    def test_leaves_of_premerge_counts(self):
+        t = Struct([1, 2], [0, 4], [INT, CHAR])
+        raw = leaves_of(t)
+        assert [(l.offset, l.size) for l in raw] == [(0, 4), (4, 2)]
+        merged = build_flattened(t)
+        assert len(merged.leaves) == 1

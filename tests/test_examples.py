@@ -1,0 +1,20 @@
+"""Smoke tests: every example script runs to completion and verifies itself."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "ocean_halo.py", "sparse_matrix_rma.py", "ring_saturation.py",
+     "stencil_trace.py", "work_stealing.py"],
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "OK" in out

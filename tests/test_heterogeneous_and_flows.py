@@ -1,0 +1,100 @@
+"""Tests for heterogeneous node parameters and flow-network conservation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._units import KiB, MiB
+from repro.hardware import DEFAULT_NODE, Node
+from repro.hardware.sci import AccessRun, FlowNetwork, RingTopology, SCIFabric
+from repro.hardware.sci.segments import SegmentDirectory
+from repro.sim import Engine
+
+
+class TestHeterogeneousNodes:
+    def test_per_node_params_affect_source_side(self):
+        """A node with write-combining disabled sends slower; receiving at
+        it is unaffected (PIO cost is origin-side)."""
+        eng = Engine()
+        nodes = [Node(i, mem_size=8 * MiB) for i in range(2)]
+        slow = DEFAULT_NODE.with_write_combining(False)
+        fabric = SCIFabric(
+            eng, RingTopology(2), per_node_params={0: slow}
+        )
+        directory = SegmentDirectory(fabric)
+        seg0 = directory.export(nodes[0], nodes[0].space.alloc(1 * MiB))
+        seg1 = directory.export(nodes[1], nodes[1].space.alloc(1 * MiB))
+        payload = np.zeros(256 * KiB, dtype=np.uint8)
+
+        def timed(imported):
+            t0 = eng.now
+            yield from imported.write(payload, AccessRun.contiguous(0, payload.nbytes))
+            return eng.now - t0
+
+        t_from_slow = eng.run_process(
+            timed(directory.import_segment(nodes[0], seg1))
+        )
+        t_from_fast = eng.run_process(
+            timed(directory.import_segment(nodes[1], seg0))
+        )
+        assert t_from_slow > 1.5 * t_from_fast
+
+    def test_params_for_lookup(self):
+        eng = Engine()
+        slow = DEFAULT_NODE.with_link_mhz(100.0)
+        fabric = SCIFabric(eng, RingTopology(4), per_node_params={2: slow})
+        assert fabric.params_for(2).link.frequency_mhz == 100.0
+        assert fabric.params_for(0).link.frequency_mhz == 166.0
+
+
+class TestFlowConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        nbytes=st.lists(st.integers(min_value=1, max_value=10_000),
+                        min_size=1, max_size=6),
+        caps=st.lists(st.floats(min_value=1.0, max_value=100.0),
+                      min_size=1, max_size=6),
+    )
+    def test_property_all_flows_complete(self, nbytes, caps):
+        """Every flow completes, regardless of contention level."""
+        eng = Engine()
+        ring = RingTopology(4)
+        net = FlowNetwork(eng, {s: 50.0 for s in ring.segments()})
+        done = []
+        for i, (n, cap) in enumerate(zip(nbytes, caps * len(nbytes))):
+            ev = net.transfer(ring.route(i % 4, (i + 1) % 4), float(n), cap)
+            ev.callbacks.append(lambda _e: done.append(eng.now))
+        eng.run()
+        assert len(done) == len(nbytes)
+        assert net.active_flows == 0
+
+    def test_rates_never_exceed_caps(self):
+        eng = Engine()
+        ring = RingTopology(2)
+        net = FlowNetwork(eng, {s: 1000.0 for s in ring.segments()})
+        net.transfer(ring.route(0, 1), 500.0, 10.0)
+
+        def check():
+            yield eng.timeout(1.0)
+            for flow in net._flows.values():
+                assert flow.rate <= flow.rate_cap + 1e-9
+
+        eng.process(check())
+        eng.run()
+
+    def test_completion_time_scales_with_share(self):
+        """Two identical competing flows take about twice as long as one,
+        when the segment is the binding constraint."""
+        def run(n_flows):
+            eng = Engine()
+            ring = RingTopology(2)
+            # Capacity below the sum of caps -> congestion response kicks in.
+            net = FlowNetwork(eng, {s: 15.0 for s in ring.segments()})
+            for _ in range(n_flows):
+                net.transfer(ring.route(0, 1), 1500.0, 10.0)
+            eng.run()
+            return eng.now
+
+        t1, t2 = run(1), run(2)
+        assert t2 > 1.5 * t1

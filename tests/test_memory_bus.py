@@ -1,0 +1,85 @@
+"""Tests for intra-node memory-bus contention (the Fig. 12 SMP mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro._units import KiB, MiB
+from repro.cluster import Cluster
+from repro.hardware.sci.flows import fair_share
+
+
+class TestFairShare:
+    def test_no_loss_below_capacity(self):
+        assert fair_share(0.5) == 1.0
+        assert fair_share(1.0) == 1.0
+
+    def test_proportional_above_capacity(self):
+        assert fair_share(2.0) == 0.5
+        assert fair_share(4.0) == 0.25
+
+    def test_delivered_never_exceeds_capacity(self):
+        for load in (0.1, 1.0, 1.7, 5.0):
+            assert load * fair_share(load) <= 1.0 + 1e-12
+
+
+class TestBusContention:
+    def _intranode_put_times(self, nprocs):
+        """Concurrent window puts between ranks on one node."""
+        cluster = Cluster(n_nodes=1, procs_per_node=max(nprocs, 2))
+
+        def program(ctx):
+            comm = ctx.comm
+            win = yield from comm.win_create(1 * MiB, shared=True)
+            yield from win.fence()
+            t0 = ctx.now
+            if comm.rank < nprocs:
+                payload = np.zeros(512 * KiB, dtype=np.uint8)
+                partner = (comm.rank + 1) % nprocs
+                yield from win.put(payload, partner, 0)
+            elapsed = ctx.now - t0
+            yield from win.fence()
+            return elapsed
+
+        run = cluster.run(program)
+        return [t for t in run.results[:nprocs]]
+
+    def test_concurrent_local_copies_contend(self):
+        solo = max(self._intranode_put_times(2)) / 1.0  # 2 ranks = mild
+        four = max(self._intranode_put_times(4))
+        assert four > 1.5 * solo
+
+    def test_solo_copy_unaffected_by_bus(self):
+        """A single local copy runs below bus capacity: no slowdown."""
+        cluster_a = Cluster(n_nodes=1, procs_per_node=2)
+        cluster_b = Cluster(n_nodes=1, procs_per_node=2)
+
+        def program(ctx):
+            comm = ctx.comm
+            win = yield from comm.win_create(1 * MiB, shared=True)
+            yield from win.fence()
+            t0 = ctx.now
+            if comm.rank == 0:
+                yield from win.put(np.zeros(512 * KiB, dtype=np.uint8), 1, 0)
+            elapsed = ctx.now - t0
+            yield from win.fence()
+            return elapsed
+
+        a = cluster_a.run(program).results[0]
+        b = cluster_b.run(program).results[0]
+        assert a == b  # deterministic and contention-free
+
+    def test_internode_transfers_do_not_touch_the_bus(self):
+        """Remote writes are PIO streams; they must not register bus flows."""
+        cluster = Cluster(n_nodes=2)
+
+        def program(ctx):
+            comm = ctx.comm
+            buf = ctx.alloc(64 * KiB)
+            if comm.rank == 0:
+                yield from comm.send(buf, dest=1, tag=0)
+            else:
+                yield from comm.recv(buf, source=0, tag=0)
+
+        cluster.run(program)
+        for node in cluster.nodes:
+            assert node._bus is None or node._bus.active_flows == 0

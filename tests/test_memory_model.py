@@ -1,0 +1,101 @@
+"""Tests for the cache-aware local memory-copy model (repro.hardware.memory)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._units import KiB, MiB, to_mib_s
+from repro.hardware import MemorySystem
+from repro.hardware.params import MemoryParams
+
+
+@pytest.fixture
+def mem():
+    return MemorySystem(MemoryParams())
+
+
+class TestCopyBandwidth:
+    def test_hierarchy_ordering(self, mem):
+        l1 = mem.copy_bandwidth(4 * KiB)
+        l2 = mem.copy_bandwidth(64 * KiB)
+        main = mem.copy_bandwidth(1 * MiB)
+        assert l1 > l2 > main
+
+    def test_thresholds_use_double_working_set(self, mem):
+        # 2 * chunk must fit the cache: exactly half the L1 is the edge.
+        l1_size = mem.params.caches.l1_size
+        assert mem.copy_bandwidth(l1_size // 2) == mem.params.l1_copy_bw
+        assert mem.copy_bandwidth(l1_size // 2 + 1) == mem.params.l2_copy_bw
+
+    def test_invalid_chunk(self, mem):
+        with pytest.raises(ValueError):
+            mem.copy_bandwidth(0)
+
+
+class TestCopyCost:
+    def test_zero_copy_free(self, mem):
+        assert mem.copy_cost(0).duration == 0.0
+
+    def test_includes_call_overhead(self, mem):
+        tiny = mem.copy_cost(1)
+        assert tiny.duration >= mem.params.copy_call_overhead
+
+    def test_chunked_copy_uses_chunk_bandwidth(self, mem):
+        whole = mem.copy_cost(1 * MiB)
+        chunked = mem.copy_cost(1 * MiB, chunk_len=4 * KiB)
+        assert chunked.duration < whole.duration  # L1-friendly chunks
+
+    def test_negative_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.copy_cost(-1)
+
+
+class TestBlockwiseCost:
+    def test_per_block_overhead_dominates_tiny_blocks(self, mem):
+        many_small = mem.blockwise_copy_cost(8192, 8)
+        few_large = mem.blockwise_copy_cost(8, 8192)
+        assert many_small.bytes_copied == few_large.bytes_copied
+        assert many_small.duration > few_large.duration
+
+    def test_bandwidth_property(self, mem):
+        cost = mem.blockwise_copy_cost(16, 4 * KiB)
+        assert cost.bandwidth == pytest.approx(
+            cost.bytes_copied / cost.duration
+        )
+
+    def test_empty(self, mem):
+        assert mem.blockwise_copy_cost(0, 128).duration == 0.0
+        assert mem.blockwise_copy_cost(128, 0).duration == 0.0
+
+    def test_grouped_matches_blockwise_for_uniform(self, mem):
+        grouped = mem.grouped_blocks_cost([(256, 100)])
+        blockwise = mem.blockwise_copy_cost(100, 256)
+        assert grouped.duration == pytest.approx(blockwise.duration)
+
+    def test_grouped_mixed_lengths(self, mem):
+        cost = mem.grouped_blocks_cost([(8, 10), (4096, 2)])
+        assert cost.blocks == 12
+        assert cost.bytes_copied == 80 + 8192
+
+    def test_blocks_copy_cost_list(self, mem):
+        cost = mem.blocks_copy_cost([8, 0, 4096, 8])
+        assert cost.blocks == 3
+        assert cost.bytes_copied == 8 + 4096 + 8
+
+    def test_negative_rejected(self, mem):
+        with pytest.raises(ValueError):
+            mem.blockwise_copy_cost(-1, 8)
+        with pytest.raises(ValueError):
+            mem.grouped_blocks_cost([(-1, 2)])
+
+
+@given(
+    nblocks=st.integers(min_value=1, max_value=1000),
+    blocklen=st.integers(min_value=1, max_value=8192),
+)
+def test_property_blockwise_cost_positive_and_monotone(nblocks, blocklen):
+    mem = MemorySystem(MemoryParams())
+    cost = mem.blockwise_copy_cost(nblocks, blocklen)
+    assert cost.duration > 0
+    more = mem.blockwise_copy_cost(nblocks + 1, blocklen)
+    assert more.duration > cost.duration

@@ -1,0 +1,81 @@
+"""Property test: random RMA op sequences vs a shadow reference model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.mpi.datatypes import DOUBLE
+
+WIN_DOUBLES = 32
+
+
+@st.composite
+def rma_ops(draw):
+    """A random sequence of fenced epochs of puts/accumulates by rank 0.
+
+    Ops within one epoch never overlap — MPI leaves the ordering of
+    conflicting accesses in the same epoch undefined, so a deterministic
+    shadow model only exists for the non-conflicting case.
+    """
+    epochs = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        ops = []
+        used: set[int] = set()
+        for _ in range(draw(st.integers(min_value=0, max_value=5))):
+            kind = draw(st.sampled_from(["put", "acc_sum", "acc_replace"]))
+            count = draw(st.integers(min_value=1, max_value=6))
+            disp = draw(st.integers(min_value=0, max_value=WIN_DOUBLES - count))
+            span = set(range(disp, disp + count))
+            if span & used:
+                continue  # skip conflicting ops within the epoch
+            used |= span
+            values = [
+                draw(st.integers(min_value=-50, max_value=50)) * 1.0
+                for _ in range(count)
+            ]
+            ops.append((kind, disp, values))
+        epochs.append(ops)
+    return epochs
+
+
+def shadow_apply(epochs):
+    """Reference semantics on a plain numpy array."""
+    shadow = np.zeros(WIN_DOUBLES)
+    for ops in epochs:
+        for kind, disp, values in ops:
+            arr = np.array(values)
+            if kind in ("put", "acc_replace"):
+                shadow[disp : disp + len(values)] = arr
+            else:
+                shadow[disp : disp + len(values)] += arr
+    return shadow
+
+
+@settings(max_examples=30, deadline=None)
+@given(epochs=rma_ops(), shared=st.booleans())
+def test_property_rma_sequences_match_shadow(epochs, shared):
+    def program(ctx):
+        comm = ctx.comm
+        win = yield from comm.win_create(WIN_DOUBLES * 8, shared=shared)
+        win.local_view().view(np.float64)[:] = 0.0
+        yield from win.fence()
+        for ops in epochs:
+            if comm.rank == 0:
+                for kind, disp, values in ops:
+                    data = np.array(values, dtype=np.float64)
+                    if kind == "put":
+                        yield from win.put(data, 1, disp * 8)
+                    elif kind == "acc_sum":
+                        yield from win.accumulate(data, 1, disp * 8, op="sum",
+                                                  datatype=DOUBLE)
+                    else:
+                        yield from win.accumulate(data, 1, disp * 8,
+                                                  op="replace", datatype=DOUBLE)
+            yield from win.fence()
+        if comm.rank == 1:
+            return np.array(win.local_view().view(np.float64), copy=True)
+        return None
+
+    run = Cluster(n_nodes=2).run(program)
+    assert np.array_equal(run.results[1], shadow_apply(epochs))

@@ -1,0 +1,120 @@
+"""Tests for the comparison-platform cost models (repro.platforms)."""
+
+import pytest
+
+from repro._units import KiB, MiB, to_mib_s
+from repro.platforms import (
+    PLATFORMS,
+    TABLE1,
+    CrayT3E,
+    LamFastEthernet,
+    LamSharedMemory,
+    SunFireSharedMemory,
+    analytic_platforms,
+    platform_by_id,
+)
+
+
+class TestCatalogue:
+    def test_table1_complete(self):
+        assert [s.id for s in TABLE1] == [
+            "C", "F-G", "F-s", "M-S", "M-s", "X-f", "X-s", "S-M", "S-s"
+        ]
+
+    def test_sci_rows_marked_simulated(self):
+        assert platform_by_id("M-S").simulated
+        assert platform_by_id("M-s").simulated
+        assert platform_by_id("C").model is not None
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            platform_by_id("nope")
+
+    def test_analytic_platforms_filter(self):
+        all_models = analytic_platforms()
+        osc_models = analytic_platforms(osc_only=True)
+        assert len(all_models) == 7
+        assert {p.spec.id for p in osc_models} == {"C", "F-s", "X-f", "X-s"}
+
+    def test_xs_put_deadlock_note(self):
+        assert "deadlock" in platform_by_id("X-s").spec.note.lower()
+
+
+class TestGenericModel:
+    def test_contiguous_time_monotone(self):
+        p = LamSharedMemory()
+        assert p.contiguous_time(1 * KiB) < p.contiguous_time(1 * MiB)
+
+    def test_bandwidth_approaches_peak(self):
+        p = LamFastEthernet()
+        assert p.contiguous_bandwidth(4 * MiB) == pytest.approx(
+            to_mib_s(p.peak_bw), rel=0.05
+        )
+
+    def test_noncontig_never_faster_than_contiguous(self):
+        for p in analytic_platforms():
+            for blocksize in (8, 256, 4 * KiB, 64 * KiB):
+                assert (
+                    p.noncontig_bandwidth(256 * KiB, blocksize)
+                    <= 1.01 * p.contiguous_bandwidth(256 * KiB)
+                ), (p.spec.id, blocksize)
+
+    def test_pack_time_per_block_overhead(self):
+        p = LamSharedMemory()
+        small_blocks = p.pack_time(64 * KiB, 8)
+        big_blocks = p.pack_time(64 * KiB, 8 * KiB)
+        assert small_blocks > big_blocks
+
+    def test_invalid_inputs(self):
+        p = CrayT3E()
+        with pytest.raises(ValueError):
+            p.contiguous_time(-1)
+        with pytest.raises(ValueError):
+            p.pack_time(100, 0)
+
+
+class TestOSCModels:
+    def test_unsupported_platform_raises(self):
+        for pid in ("F-G", "S-M", "S-s"):
+            with pytest.raises(NotImplementedError):
+                platform_by_id(pid).model.osc_call_time(64)
+
+    def test_get_costs_more_than_put(self):
+        p = SunFireSharedMemory()
+        assert p.osc_call_time(64, "get") > p.osc_call_time(64, "put")
+
+    def test_lam_ethernet_caps_at_10(self):
+        p = LamFastEthernet()
+        assert p.osc_bandwidth(1 * MiB) <= 10.1
+
+    def test_t3e_wobble_is_bounded(self):
+        p = CrayT3E()
+        smooth_ratio = []
+        for size in (64, 128, 256, 512):
+            base = to_mib_s(size / (p.osc_latency + size / p.osc_bw))
+            smooth_ratio.append(p.osc_bandwidth(size) / base)
+        assert all(0.8 <= r <= 1.2 for r in smooth_ratio)
+
+
+class TestScaling:
+    def test_t3e_flat(self):
+        p = CrayT3E()
+        values = [p.scaling_bandwidth(n) for n in (2, 8, 32)]
+        assert max(values) == pytest.approx(min(values))
+
+    def test_sunfire_declines_past_six(self):
+        p = SunFireSharedMemory()
+        assert p.scaling_bandwidth(8) < p.scaling_bandwidth(6)
+        assert p.scaling_bandwidth(6) == pytest.approx(
+            p.scaling_bandwidth(2), rel=0.05
+        )
+
+    def test_xeon_bus_limited(self):
+        p = LamSharedMemory()
+        four = p.scaling_bandwidth(4, access_size=4 * KiB)
+        two = p.scaling_bandwidth(2, access_size=4 * KiB)
+        assert four < 0.6 * two
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            CrayT3E().scaling_bandwidth(0)

@@ -1,0 +1,121 @@
+"""Property tests on MPI protocol semantics (hypothesis over the full stack)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._units import KiB
+from repro.cluster import Cluster
+from repro.mpi.pt2pt import NonContigMode, ProtocolConfig
+
+# Sizes spanning all three protocols (short <=128, eager <=16k, rndv above).
+SIZES = st.sampled_from([8, 64, 129, 1024, 8 * KiB, 16 * KiB + 8, 40 * KiB])
+
+
+@settings(max_examples=25, deadline=None)
+@given(sizes=st.lists(SIZES, min_size=1, max_size=6))
+def test_property_non_overtaking_across_protocols(sizes):
+    """Same (source, dest, tag): messages arrive in send order even when
+    they travel via different protocols (MPI non-overtaking)."""
+
+    def program(ctx):
+        comm = ctx.comm
+        if comm.rank == 0:
+            for i, size in enumerate(sizes):
+                buf = ctx.alloc(size)
+                buf.as_array()[0:8] = np.frombuffer(
+                    np.int64(i).tobytes(), dtype=np.uint8
+                )
+                yield from comm.send(buf, dest=1, tag=7)
+            return None
+        order = []
+        for size in sizes:
+            buf = ctx.alloc(max(size, 8))
+            status = yield from comm.recv(buf, source=0, tag=7)
+            order.append(int(buf.as_array()[0:8].view(np.int64)[0]))
+        return order
+
+    run = Cluster(n_nodes=2).run(program)
+    assert run.results[1] == list(range(len(sizes)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(SIZES, min_size=1, max_size=4),
+    mode=st.sampled_from([NonContigMode.GENERIC, NonContigMode.DIRECT]),
+    data=st.data(),
+)
+def test_property_payload_integrity_random_sizes(sizes, mode, data):
+    """Random payloads of random sizes arrive byte-exactly in any mode."""
+    seeds = [data.draw(st.integers(0, 2**31 - 1)) for _ in sizes]
+
+    def program(ctx):
+        comm = ctx.comm
+        if comm.rank == 0:
+            for size, seed in zip(sizes, seeds):
+                buf = ctx.alloc(size)
+                rng = np.random.default_rng(seed)
+                buf.read()[:] = rng.integers(0, 256, size, dtype=np.uint8)
+                yield from comm.send(buf, dest=1, tag=1)
+            return None
+        digests = []
+        for size in sizes:
+            buf = ctx.alloc(size)
+            yield from comm.recv(buf, source=0, tag=1)
+            digests.append(buf.tobytes())
+        return digests
+
+    protocol = ProtocolConfig(noncontig_mode=mode)
+    run = Cluster(n_nodes=2, protocol=protocol).run(program)
+    for size, seed, got in zip(sizes, seeds, run.results[1]):
+        rng = np.random.default_rng(seed)
+        assert got == rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    tags=st.lists(st.integers(min_value=0, max_value=5), min_size=2,
+                  max_size=5, unique=True),
+)
+def test_property_tag_matching_selects_correct_message(tags):
+    """Receives by specific tag pick the right message regardless of the
+    arrival order of differently tagged messages."""
+
+    def program(ctx):
+        comm = ctx.comm
+        if comm.rank == 0:
+            for tag in tags:
+                buf = ctx.alloc(16)
+                buf.fill(tag + 1)
+                yield from comm.send(buf, dest=1, tag=tag)
+            return None
+        # Receive in reverse tag order: matching must be by tag.
+        values = {}
+        for tag in reversed(tags):
+            buf = ctx.alloc(16)
+            yield from comm.recv(buf, source=0, tag=tag)
+            values[tag] = buf.read(0, 1)[0]
+        return values
+
+    run = Cluster(n_nodes=2).run(program)
+    assert run.results[1] == {tag: tag + 1 for tag in tags}
+
+
+@settings(max_examples=10, deadline=None)
+@given(nprocs=st.integers(min_value=2, max_value=6), seed=st.integers(0, 999))
+def test_property_allreduce_equals_numpy(nprocs, seed):
+    rng = np.random.default_rng(seed)
+    contributions = rng.random((nprocs, 4))
+
+    def program(ctx):
+        comm = ctx.comm
+        send = ctx.alloc(32)
+        recv = ctx.alloc(32)
+        send.as_array(np.float64)[:] = contributions[comm.rank]
+        yield from comm.allreduce(send, recv, op="sum")
+        return recv.as_array(np.float64).copy()
+
+    run = Cluster(n_nodes=nprocs).run(program)
+    expected = contributions.sum(axis=0)
+    for got in run.results:
+        assert np.allclose(got, expected)

@@ -1,0 +1,126 @@
+"""Coverage tests: condition failure paths, segment handle extras, layout."""
+
+import numpy as np
+import pytest
+
+from repro._units import KiB, MiB
+from repro.hardware import Node
+from repro.hardware.sci import AccessRun, RingTopology, SCIFabric
+from repro.hardware.sci.segments import SegmentDirectory
+from repro.memlib import iter_span, strided_blocks
+from repro.sim import Engine
+
+
+class TestConditionFailures:
+    def test_all_of_fails_fast_on_child_failure(self):
+        eng = Engine()
+        good = eng.timeout(10.0)
+        bad = eng.event()
+
+        def failer():
+            yield eng.timeout(1.0)
+            bad.fail(RuntimeError("child broke"))
+
+        def waiter():
+            try:
+                yield eng.all_of([good, bad])
+            except RuntimeError as exc:
+                return (str(exc), eng.now)
+
+        eng.process(failer())
+        message, when = eng.run_process(waiter())
+        assert message == "child broke"
+        assert when == 1.0  # did not wait for the 10 µs timeout
+
+    def test_any_of_failure_propagates(self):
+        eng = Engine()
+        bad = eng.event()
+
+        def failer():
+            yield eng.timeout(1.0)
+            bad.fail(ValueError("early"))
+
+        def waiter():
+            try:
+                yield eng.any_of([bad, eng.timeout(5.0)])
+            except ValueError:
+                return "caught"
+
+        eng.process(failer())
+        assert eng.run_process(waiter()) == "caught"
+
+    def test_unwaited_failed_event_crashes_engine(self):
+        """A failure nobody handles is surfaced, not swallowed."""
+        eng = Engine()
+        eng.event().fail(ValueError("nobody listened"))
+        with pytest.raises(ValueError, match="nobody listened"):
+            eng.run()
+
+    def test_condition_engines_must_match(self):
+        eng_a, eng_b = Engine(), Engine()
+        ev = eng_b.event()
+        with pytest.raises(ValueError):
+            eng_a.all_of([ev])
+
+
+class TestSegmentHandleExtras:
+    def _setup(self):
+        eng = Engine()
+        nodes = [Node(i, mem_size=4 * MiB) for i in range(2)]
+        fabric = SCIFabric(eng, RingTopology(2))
+        directory = SegmentDirectory(fabric)
+        seg = directory.export(nodes[1], nodes[1].space.alloc(64 * KiB))
+        return eng, nodes, directory, seg
+
+    def test_read_bytes(self):
+        eng, nodes, directory, seg = self._setup()
+        seg.local_view()[:16] = np.arange(16, dtype=np.uint8)
+        handle = directory.import_segment(nodes[0], seg)
+
+        def body():
+            data = yield from handle.read_bytes(4, 8)
+            return data.tobytes()
+
+        assert eng.run_process(body()) == bytes(range(4, 12))
+
+    def test_lookup(self):
+        eng, nodes, directory, seg = self._setup()
+        assert directory.lookup(seg.seg_id) is seg
+        from repro.hardware.sci.segments import SegmentError
+
+        with pytest.raises(SegmentError):
+            directory.lookup(999)
+
+    def test_strided_read_of_partial_runs(self):
+        eng, nodes, directory, seg = self._setup()
+        view = seg.local_view()
+        view[:64] = np.arange(64, dtype=np.uint8)
+        handle = directory.import_segment(nodes[0], seg)
+        run = AccessRun(base=2, size=3, stride=10, count=4)
+
+        def body():
+            data = yield from handle.read(run)
+            return data
+
+        data = eng.run_process(body())
+        expected = np.concatenate([view[2 + i * 10 : 5 + i * 10] for i in range(4)])
+        assert np.array_equal(data, expected)
+
+    def test_write_payload_mismatch(self):
+        eng, nodes, directory, seg = self._setup()
+        handle = directory.import_segment(nodes[0], seg)
+        from repro.hardware.sci.segments import SegmentError
+
+        def body():
+            yield from handle.write(
+                np.zeros(10, dtype=np.uint8), AccessRun.contiguous(0, 8)
+            )
+
+        with pytest.raises(SegmentError):
+            eng.run_process(body())
+
+
+class TestLayoutHelpers:
+    def test_iter_span(self):
+        blocks = strided_blocks(count=2, blocklen=3, stride=8, base=1)
+        assert list(iter_span(blocks)) == [1, 2, 3, 9, 10, 11]

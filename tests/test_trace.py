@@ -1,0 +1,84 @@
+"""Tests for the execution tracer (repro.trace)."""
+
+import pytest
+
+from repro._units import KiB
+from repro.cluster import Cluster
+from repro.trace import Tracer, attach_tracer
+
+
+def run_traced(nbytes=4 * KiB):
+    cluster = Cluster(n_nodes=2)
+    tracer = attach_tracer(cluster)
+
+    def program(ctx):
+        comm = ctx.comm
+        buf = ctx.alloc(nbytes)
+        if comm.rank == 0:
+            yield from comm.send(buf, dest=1, tag=9)
+        else:
+            yield from comm.recv(buf, source=0, tag=9)
+
+    cluster.run(program)
+    return tracer
+
+
+class TestTracer:
+    def test_events_recorded(self):
+        tracer = run_traced()
+        kinds = {ev.kind for ev in tracer.events}
+        assert {"send.begin", "send.end", "recv.begin",
+                "recv.matched", "recv.end"} <= kinds
+
+    def test_spans_match_begin_end(self):
+        tracer = run_traced()
+        sends = [s for s in tracer.spans("send")]
+        recvs = [s for s in tracer.spans("recv")]
+        assert len(sends) == 1 and len(recvs) == 1
+        assert sends[0].rank == 0 and recvs[0].rank == 1
+        assert sends[0].duration > 0
+        assert recvs[0].end >= sends[0].start
+
+    def test_protocol_detail(self):
+        tracer = run_traced(nbytes=4 * KiB)
+        (send,) = tracer.spans("send")
+        assert send.detail["protocol"] == "eager"
+        tracer = run_traced(nbytes=128 * KiB)
+        (send,) = tracer.spans("send")
+        assert send.detail["protocol"] == "rndv"
+
+    def test_time_in_and_summary(self):
+        tracer = run_traced()
+        assert tracer.time_in(0, "send") > 0
+        assert tracer.time_in(1, "recv") > 0
+        assert tracer.time_in(1, "send") == 0
+        text = tracer.summary()
+        assert "rank 0" in text and "send" in text
+
+    def test_for_rank_filter(self):
+        tracer = run_traced()
+        assert all(ev.rank == 0 for ev in tracer.for_rank(0))
+
+    def test_empty_tracer_summary(self):
+        t = Tracer()
+        assert "no spans" in t.summary()
+        assert len(t) == 0
+
+    def test_no_tracer_no_overhead(self):
+        """Untraced runs record nothing and behave identically."""
+        cluster = Cluster(n_nodes=2)
+
+        def program(ctx):
+            comm = ctx.comm
+            buf = ctx.alloc(256)
+            if comm.rank == 0:
+                yield from comm.send(buf, dest=1)
+            else:
+                yield from comm.recv(buf, source=0)
+            return ctx.now
+
+        baseline = cluster.run(program).results
+        traced_cluster = Cluster(n_nodes=2)
+        attach_tracer(traced_cluster)
+        traced = traced_cluster.run(program).results
+        assert baseline == traced  # tracing is timing-transparent

@@ -1,0 +1,50 @@
+"""Tests for the unit helpers (repro._units)."""
+
+import pytest
+
+from repro._units import (
+    KiB,
+    MiB,
+    align_down,
+    align_up,
+    fmt_size,
+    is_aligned,
+    mib_s,
+    to_mib_s,
+    transfer_time,
+)
+
+
+def test_mib_s_roundtrip():
+    assert to_mib_s(mib_s(123.0)) == pytest.approx(123.0)
+
+
+def test_mib_s_value():
+    # 1 MiB/s = 1048576 bytes / 1e6 µs.
+    assert mib_s(1.0) == pytest.approx(1.048576)
+
+
+def test_transfer_time():
+    assert transfer_time(0, 100.0) == 0.0
+    assert transfer_time(1000, 100.0) == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        transfer_time(10, 0.0)
+
+
+def test_align_helpers():
+    assert align_up(13, 8) == 16
+    assert align_up(16, 8) == 16
+    assert align_down(13, 8) == 8
+    assert is_aligned(64, 32)
+    assert not is_aligned(65, 32)
+    with pytest.raises(ValueError):
+        align_up(3, 6)  # not a power of two
+    with pytest.raises(ValueError):
+        is_aligned(3, 0)
+
+
+def test_fmt_size():
+    assert fmt_size(8) == "8 B"
+    assert fmt_size(KiB) == "1 kiB"
+    assert fmt_size(2 * KiB) == "2 kiB"
+    assert fmt_size(int(1.5 * MiB)) == "1.5 MiB"
