@@ -171,3 +171,60 @@ def test_ablation_eager_threshold(once):
     # rendezvous handshake: faster.
     assert results[16 * KiB] < results[2 * KiB]
     assert results[64 * KiB] == pytest.approx(results[16 * KiB], rel=0.01)
+
+
+def test_ablation_plan_cache(once):
+    """The packing-plan cache ablation: repeated transfers of one datatype
+    must build strictly fewer offset tables with the cache enabled, at
+    identical simulated time (the cache saves host work, not wire time)."""
+    from contextlib import nullcontext
+
+    from repro.mpi.flatten import (
+        plan_cache_disabled,
+        plan_cache_stats,
+        reset_plan_cache,
+    )
+
+    dtype = Vector(4096, 1, 2, DOUBLE).commit()  # 32 kiB: rendezvous
+
+    def roundtrips(enabled):
+        reset_plan_cache()
+        protocol = ProtocolConfig(noncontig_mode=NonContigMode.DIRECT)
+        cluster = Cluster(n_nodes=2, protocol=protocol)
+
+        def program(ctx):
+            comm = ctx.comm
+            buf = ctx.alloc(dtype.extent)
+            yield from comm.barrier()
+            t0 = ctx.now
+            for rep in range(6):
+                if comm.rank == 0:
+                    yield from comm.send(buf, dest=1, tag=rep,
+                                         datatype=dtype, count=1)
+                else:
+                    yield from comm.recv(buf, source=0, tag=rep,
+                                         datatype=dtype, count=1)
+            return ctx.now - t0
+
+        with nullcontext() if enabled else plan_cache_disabled():
+            elapsed = cluster.run(program).results[1]
+        return plan_cache_stats()["builds"], elapsed
+
+    def sweep():
+        cached_builds, cached_time = roundtrips(enabled=True)
+        uncached_builds, uncached_time = roundtrips(enabled=False)
+        return {
+            "cached": (cached_builds, cached_time),
+            "uncached": (uncached_builds, uncached_time),
+        }
+
+    results = once(sweep)
+    cached_builds, cached_time = results["cached"]
+    uncached_builds, uncached_time = results["uncached"]
+    print()
+    print(f"  cache on : {cached_builds:4d} plan builds, {cached_time:9.1f} µs")
+    print(f"  cache off: {uncached_builds:4d} plan builds, {uncached_time:9.1f} µs")
+    assert cached_builds < uncached_builds, \
+        "caching must save offset-table constructions"
+    assert cached_time == pytest.approx(uncached_time), \
+        "the cache must not change simulated time"

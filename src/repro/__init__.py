@@ -49,6 +49,7 @@ from .mpi.datatypes import (
     Subarray,
     Vector,
 )
+from .mpi.flatten import PackPlan, get_plan, plan_cache_stats
 from .mpi.pt2pt import NonContigMode, ProtocolConfig
 
 __version__ = "1.0.0"
@@ -76,6 +77,7 @@ __all__ = [
     "MiB",
     "NodeParams",
     "NonContigMode",
+    "PackPlan",
     "ProtocolConfig",
     "RankContext",
     "Request",
@@ -85,6 +87,8 @@ __all__ = [
     "Struct",
     "Subarray",
     "Vector",
+    "get_plan",
     "mib_s",
+    "plan_cache_stats",
     "to_mib_s",
 ]

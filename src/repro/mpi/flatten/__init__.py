@@ -1,8 +1,9 @@
 """direct_pack_ff (S7): flattened datatypes and the arbitrary-offset pack engine.
 
 The representation (:mod:`stack`), its commit-time construction and merge
-optimizations (:mod:`build`), and the pack/unpack/range engine
-(:mod:`engine`) that both the generic and the direct transfer paths share.
+optimizations (:mod:`build`), the pack/unpack/range engine (:mod:`engine`)
+that both the generic and the direct transfer paths share, and the
+memoized packing plans (:mod:`plan`) the hot paths execute from.
 """
 
 from .build import build_flattened, leaves_of
@@ -16,6 +17,15 @@ from .engine import (
     unpack,
     unpack_range,
 )
+from .plan import (
+    PackPlan,
+    PlanCache,
+    get_plan,
+    plan_cache_disabled,
+    plan_cache_stats,
+    reset_plan_cache,
+    set_plan_cache_enabled,
+)
 from .stack import FlattenedType, LeafSpec, Level, Position
 
 __all__ = [
@@ -23,14 +33,21 @@ __all__ = [
     "LeafSpec",
     "Level",
     "PackError",
+    "PackPlan",
+    "PlanCache",
     "Position",
     "as_access_run",
     "block_groups_in_range",
     "block_runs",
     "build_flattened",
+    "get_plan",
     "leaves_of",
     "pack",
     "pack_range",
+    "plan_cache_disabled",
+    "plan_cache_stats",
+    "reset_plan_cache",
+    "set_plan_cache_enabled",
     "unpack",
     "unpack_range",
 ]

@@ -229,7 +229,10 @@ def unpack_range(
 ) -> None:
     """Scatter ``data`` into packed-stream positions starting at byte_offset."""
     if data.dtype != np.uint8:
-        data = data.reshape(-1).view(np.uint8)
+        # ascontiguousarray first: a strided slice (or any array whose last
+        # axis is not contiguous) cannot be re-viewed at a different item
+        # size, and reshape(-1) alone does not copy 1-D strided input.
+        data = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
     pos = 0
     for offsets, length in block_runs(ft, count, byte_offset, data.nbytes, base):
         span = len(offsets) * length

@@ -1,0 +1,343 @@
+"""Packing plans: precomputed, coalesced offset tables for pack/unpack.
+
+The ff-stacks of :mod:`stack` are deliberately compact — O(leaves x depth)
+— but the transfer engine in :mod:`engine` re-derives every leaf's
+block-offset table on *every* ``pack``/``pack_range``/``unpack_range``
+call.  For the hot paths (the rendezvous chunk loop, repeated sends of
+the same datatype) that repeated derivation is exactly the datatype-path
+overhead the paper's ``direct_pack_ff`` sets out to eliminate.
+
+A :class:`PackPlan` materializes, once per ``(FlattenedType, count)``,
+the fully resolved run table of the whole packed stream:
+
+* every basic block of every leaf of every instance, in packed order,
+  with adjacent runs **coalesced across leaf and instance boundaries**
+  whenever block ``k`` ends exactly where block ``k+1`` starts (the
+  commit-time merge of :mod:`build` only fuses leaves with *identical*
+  stacks; the plan catches the rest, e.g. a vector leaf whose last block
+  abuts the next instance's first block);
+* a prefix-sum table mapping packed-stream byte offsets to runs, so
+  ``execute_pack``/``execute_unpack`` resume at arbitrary byte offsets
+  with one ``searchsorted`` instead of per-call ``find_position``
+  arithmetic.
+
+Coalescing is sound because runs are merged only when they are adjacent
+in *both* the packed stream and memory — the byte order of the stream is
+unchanged, only the grouping is coarser (fewer, larger copies).
+
+Plans are memoized in a bounded LRU :class:`PlanCache` with hit/miss
+counters (surfaced through :func:`repro.trace` summaries).  The cache can
+be disabled globally — :func:`plan_cache_disabled` — which is the
+ablation toggle ``benchmarks/test_ablations.py`` uses to measure how many
+offset-table constructions the cache saves.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+import numpy as np
+
+from .engine import PackError, _gather, _scatter
+from .stack import FlattenedType
+
+__all__ = [
+    "PackPlan",
+    "PlanCache",
+    "get_plan",
+    "plan_cache_disabled",
+    "plan_cache_stats",
+    "reset_plan_cache",
+    "set_plan_cache_enabled",
+]
+
+#: Total PackPlan constructions (offset-table materializations) since the
+#: last :func:`reset_plan_cache` — the ablation counter.
+_BUILDS = 0
+
+
+def _materialize_runs(ft: FlattenedType, count: int) -> tuple[np.ndarray, np.ndarray]:
+    """All (offset, length) runs of ``count`` instances, coalesced.
+
+    Offsets are relative to the instance-0 base address, in packed order.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    if ft.size == 0 or count == 0 or not ft.leaves:
+        return empty, empty
+
+    # Contiguous fast path: one gap-free run, no per-block materialization.
+    if (
+        len(ft.leaves) == 1
+        and not ft.leaves[0].levels
+        and ft.leaves[0].size == ft.size == ft.extent
+    ):
+        return (
+            np.array([ft.leaves[0].offset], dtype=np.int64),
+            np.array([ft.size * count], dtype=np.int64),
+        )
+
+    inst_offs = np.concatenate([leaf.block_offsets() for leaf in ft.leaves])
+    inst_lens = np.concatenate(
+        [np.full(leaf.block_count, leaf.size, dtype=np.int64) for leaf in ft.leaves]
+    )
+    inst_starts = np.arange(count, dtype=np.int64) * ft.extent
+    offs = (inst_starts[:, None] + inst_offs[None, :]).reshape(-1)
+    lens = np.tile(inst_lens, count)
+
+    # Coalesce runs adjacent in both the packed stream and memory.
+    keep = np.empty(len(offs), dtype=bool)
+    keep[0] = True
+    np.not_equal(offs[1:], offs[:-1] + lens[:-1], out=keep[1:])
+    starts = np.flatnonzero(keep)
+    return offs[starts], np.add.reduceat(lens, starts)
+
+
+class PackPlan:
+    """The resolved run table of ``count`` instances of one datatype.
+
+    ``run_offsets``/``run_lengths`` hold the coalesced runs in packed
+    order (offsets relative to the base address the plan is executed at);
+    ``run_starts`` is the packed-stream prefix-sum table (length
+    ``n_runs + 1``, ending at :attr:`total`).
+    """
+
+    __slots__ = ("ft", "count", "total", "run_offsets", "run_lengths", "run_starts")
+
+    def __init__(self, ft: FlattenedType, count: int):
+        if count < 0:
+            raise PackError(f"negative count: {count}")
+        global _BUILDS
+        _BUILDS += 1
+        self.ft = ft
+        self.count = count
+        self.total = ft.size * count
+        self.run_offsets, self.run_lengths = _materialize_runs(ft, count)
+        self.run_starts = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(self.run_lengths))
+        )
+
+    @property
+    def n_runs(self) -> int:
+        return len(self.run_offsets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PackPlan count={self.count} total={self.total} "
+            f"runs={self.n_runs}>"
+        )
+
+    # -- range walking ---------------------------------------------------------------
+
+    def _check_range(self, byte_offset: int, nbytes: int) -> None:
+        if not 0 <= byte_offset <= self.total:
+            raise PackError(f"byte offset {byte_offset} outside [0, {self.total}]")
+        if nbytes < 0 or byte_offset + nbytes > self.total:
+            raise PackError(
+                f"range [{byte_offset}, {byte_offset + nbytes}) outside packed "
+                f"size {self.total}"
+            )
+
+    def run_groups(
+        self, byte_offset: int, nbytes: int
+    ) -> Iterator[tuple[np.ndarray, int]]:
+        """(base-relative offsets, length) groups covering a packed range.
+
+        The plan-backed equivalent of :func:`engine.block_runs`: an
+        optional split head run, the fully covered runs grouped by equal
+        length (each group one vectorized copy), and an optional split
+        tail run.
+        """
+        self._check_range(byte_offset, nbytes)
+        if nbytes == 0:
+            return
+        starts = self.run_starts
+        end = byte_offset + nbytes
+        pos = byte_offset
+        i = int(np.searchsorted(starts, pos, side="right")) - 1
+
+        if pos > starts[i]:
+            # Split head run.
+            take = int(min(end, starts[i + 1])) - pos
+            head = self.run_offsets[i] + (pos - starts[i])
+            yield (np.array([head], dtype=np.int64), take)
+            pos += take
+            i += 1
+        if pos >= end:
+            return
+
+        j = int(np.searchsorted(starts, end, side="right")) - 1
+        if j > i:
+            # Fully covered runs, grouped by equal length.
+            lens = self.run_lengths[i:j]
+            bounds = np.flatnonzero(np.diff(lens)) + 1
+            for a, b in zip(
+                np.concatenate(([0], bounds)), np.concatenate((bounds, [len(lens)]))
+            ):
+                yield (self.run_offsets[i + a : i + b], int(lens[a]))
+            pos = int(starts[j])
+        if pos < end:
+            # Split tail run (starts exactly at a run boundary).
+            yield (self.run_offsets[j : j + 1], end - pos)
+
+    def groups_in_range(
+        self, byte_offset: int, nbytes: Optional[int] = None
+    ) -> list[tuple[int, int]]:
+        """``(block_len, n_blocks)`` groups for a packed range — the
+        cost-model view of the plan (no memory touched)."""
+        if nbytes is None:
+            nbytes = self.total - byte_offset
+        groups: list[tuple[int, int]] = []
+        for offsets, length in self.run_groups(byte_offset, nbytes):
+            if groups and groups[-1][0] == length:
+                groups[-1] = (length, groups[-1][1] + len(offsets))
+            else:
+                groups.append((length, len(offsets)))
+        return groups
+
+    # -- execution -------------------------------------------------------------------
+
+    def execute_pack(
+        self,
+        mem: np.ndarray,
+        base: int,
+        byte_offset: int = 0,
+        nbytes: Optional[int] = None,
+    ) -> np.ndarray:
+        """Pack packed-stream bytes [byte_offset, byte_offset + nbytes)."""
+        if nbytes is None:
+            nbytes = self.total - byte_offset
+        out = np.empty(nbytes, dtype=np.uint8)
+        pos = 0
+        for offsets, length in self.run_groups(byte_offset, nbytes):
+            span = len(offsets) * length
+            if len(offsets) == 1:
+                start = base + int(offsets[0])
+                out[pos : pos + span] = mem[start : start + span]
+            else:
+                out[pos : pos + span] = _gather(mem, offsets + base, length).reshape(-1)
+            pos += span
+        if pos != nbytes:  # pragma: no cover - invariant
+            raise AssertionError(f"packed {pos} of {nbytes} bytes")
+        return out
+
+    def execute_unpack(
+        self,
+        mem: np.ndarray,
+        base: int,
+        byte_offset: int,
+        data: np.ndarray,
+    ) -> None:
+        """Scatter ``data`` into packed-stream positions from byte_offset."""
+        if data.dtype != np.uint8:
+            data = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        pos = 0
+        for offsets, length in self.run_groups(byte_offset, data.nbytes):
+            span = len(offsets) * length
+            if len(offsets) == 1:
+                start = base + int(offsets[0])
+                mem[start : start + span] = data[pos : pos + span]
+            else:
+                _scatter(mem, offsets + base, length, data[pos : pos + span])
+            pos += span
+        if pos != data.nbytes:  # pragma: no cover - invariant
+            raise AssertionError(f"unpacked {pos} of {data.nbytes} bytes")
+
+
+class PlanCache:
+    """Bounded LRU cache of :class:`PackPlan` keyed by ``(ft, count)``."""
+
+    def __init__(self, maxsize: int = 64):
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._plans: "OrderedDict[tuple[FlattenedType, int], PackPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, ft: FlattenedType, count: int) -> PackPlan:
+        key = (ft, count)
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan
+        self.misses += 1
+        plan = PackPlan(ft, count)
+        self._plans[key] = plan
+        while len(self._plans) > self.maxsize:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+        return plan
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._plans),
+            "maxsize": self.maxsize,
+        }
+
+
+#: The process-wide default cache used by all pack/unpack call sites.
+_default_cache = PlanCache()
+_enabled = True
+
+
+def get_plan(
+    ft: FlattenedType, count: int, cache: Optional[PlanCache] = None
+) -> PackPlan:
+    """The memoized plan for ``(ft, count)``; builds fresh when disabled."""
+    if cache is None:
+        cache = _default_cache
+    if not _enabled:
+        return PackPlan(ft, count)
+    return cache.get(ft, count)
+
+
+def set_plan_cache_enabled(enabled: bool) -> bool:
+    """Toggle the process-wide plan cache; returns the previous setting."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def plan_cache_disabled():
+    """Context manager: run with plans rebuilt on every call (ablation)."""
+    previous = set_plan_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_plan_cache_enabled(previous)
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Counters of the default plan cache plus the global build count.
+
+    ``builds`` counts every PackPlan construction (offset-table
+    materialization) since the last reset, including cache-disabled ones —
+    the quantity the plan-cache ablation compares.
+    """
+    stats = _default_cache.stats()
+    stats["builds"] = _BUILDS
+    stats["enabled"] = int(_enabled)
+    return stats
+
+
+def reset_plan_cache() -> None:
+    """Clear the default cache and zero all counters (test isolation)."""
+    global _BUILDS
+    _default_cache.clear()
+    _BUILDS = 0

@@ -36,7 +36,7 @@ from ...smi import SMIBarrier, SMILock
 from ..coll.collectives import OPS
 from ..datatypes.base import Datatype
 from ..errors import RMAError
-from ..flatten import as_access_run
+from ..flatten import as_access_run, get_plan
 from .messages import OSCAccumulate, OSCGet, OSCNotice, OSCPut
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -290,9 +290,8 @@ class Win:
             # Local window: a plain store.
             yield self.engine.timeout(self.device.node.memory.copy_cost(n).duration)
             if run is None:
-                from ..flatten import unpack_range
-                unpack_range(part.local_view(), target_disp,
-                             target_datatype.flattened, target_count, 0, payload)
+                plan = get_plan(target_datatype.flattened, target_count)
+                plan.execute_unpack(part.local_view(), target_disp, 0, payload)
             else:
                 from ...hardware.sci.segments import scatter_run
                 scatter_run(part.local_view(), run, payload)
@@ -320,13 +319,10 @@ class Win:
         if target_datatype is not None and (run is None or run.stride != run.size):
             # The handler scatters into the non-contiguous target layout.
             target_datatype.commit()
-            ft = target_datatype.flattened
+            plan = get_plan(target_datatype.flattened, target_count)
 
-            def apply(view, ft=ft, count=target_count, disp=target_disp,
-                      payload=payload):
-                from ..flatten import unpack_range
-
-                unpack_range(view, disp, ft, count, 0, payload)
+            def apply(view, plan=plan, disp=target_disp, payload=payload):
+                plan.execute_unpack(view, disp, 0, payload)
 
             msg.apply = apply
         # Ship the payload (a data transfer on the ring) + remote interrupt.
@@ -358,9 +354,8 @@ class Win:
         if wtarget == self.world_rank:
             yield self.engine.timeout(self.device.node.memory.copy_cost(nbytes).duration)
             if run is None:
-                from ..flatten import pack
-                return pack(part.local_view(), target_disp,
-                            target_datatype.flattened, target_count)
+                plan = get_plan(target_datatype.flattened, target_count)
+                return plan.execute_pack(part.local_view(), target_disp)
             from ...hardware.sci.segments import gather_run
             return gather_run(part.local_view(), run)
 

@@ -27,7 +27,7 @@ from ...sim import Channel, Engine, Lock, Resource
 from ...smi import SMIContext
 from ..datatypes.base import Datatype
 from ..errors import MessageTruncated, MPIError
-from ..flatten import block_groups_in_range, pack, pack_range, unpack_range
+from ..flatten import get_plan
 from .config import DEFAULT_PROTOCOL, NonContigMode, ProtocolConfig
 from .costs import (
     contiguous_remote_chunk_duration,
@@ -226,10 +226,10 @@ class RankDevice:
 
     # -- chunk transfer helpers ------------------------------------------------------
 
-    def _chunk_groups(self, mode, ft, count, pos, nbytes):
+    def _chunk_groups(self, mode, plan, pos, nbytes):
         if mode == TransferMode.CONTIGUOUS:
             return [(nbytes, 1)]
-        return block_groups_in_range(ft, count, pos, nbytes)
+        return plan.groups_in_range(pos, nbytes)
 
     def _write_chunk(self, dst: int, region, data: np.ndarray, mode: str,
                      groups: list[tuple[int, int]], src_cached: bool):
@@ -284,6 +284,7 @@ class RankDevice:
                 raise MPIError("count is required for non-contiguous datatypes")
             count = buf.nbytes // dtype.size if dtype.size else 0
         total = ft.size * count
+        plan = get_plan(ft, count)
         mem = buf.space.mem
         base = buf.base
         cfg = self.config
@@ -299,20 +300,20 @@ class RankDevice:
 
         if total <= cfg.short_threshold:
             # Short: pack inline (tiny, stack loop either way) + control.
-            payload = pack(mem, base, ft, count)
+            payload = plan.execute_pack(mem, base)
             if not dtype.is_contiguous:
                 groups = ft.block_length_groups(count)
                 yield self.engine.timeout(pack_cost_direct(memory, groups, cfg))
             yield from self.send_ctrl(dest, ShortMsg(env, payload, sync_reply))
             self.counters["short"] += 1
         elif total <= cfg.eager_threshold:
-            yield from self._send_eager(dest, env, mem, base, ft, count, total,
-                                        mode, src_cached, sync_reply)
+            yield from self._send_eager(dest, env, mem, base, ft, plan, count,
+                                        total, mode, src_cached, sync_reply)
             self.counters["eager"] += 1
         else:
             # Rendezvous is inherently synchronous.
-            yield from self._send_rndv(dest, env, mem, base, ft, count, total,
-                                       mode, src_cached)
+            yield from self._send_rndv(dest, env, mem, base, ft, plan, count,
+                                       total, mode, src_cached)
             self.counters["rndv"] += 1
             sync_reply = None
         if sync_reply is not None:
@@ -324,7 +325,7 @@ class RankDevice:
         )
         self._trace("send.end", dest=dest, protocol=protocol)
 
-    def _send_eager(self, dest, env, mem, base, ft, count, total, mode,
+    def _send_eager(self, dest, env, mem, base, ft, plan, count, total, mode,
                     src_cached, sync_reply=None):
         cfg = self.config
         if mode == TransferMode.DMA:
@@ -342,8 +343,8 @@ class RankDevice:
             yield self.engine.timeout(
                 pack_cost_generic(self.node.memory, groups, cfg)
             )
-        data = pack(mem, base, ft, count)
-        groups = self._chunk_groups(mode, ft, count, 0, total)
+        data = plan.execute_pack(mem, base)
+        groups = self._chunk_groups(mode, plan, 0, total)
         remote = not self.smi.same_node(self.rank, dest)
         memory = self.node.memory
         n = data.nbytes
@@ -371,7 +372,8 @@ class RankDevice:
                            sync_reply=sync_reply)
         )
 
-    def _send_rndv(self, dest, env, mem, base, ft, count, total, mode, src_cached):
+    def _send_rndv(self, dest, env, mem, base, ft, plan, count, total, mode,
+                   src_cached):
         cfg = self.config
         reply: Channel = Channel(self.engine, name=f"rndv-reply-r{self.rank}")
         yield from self.send_ctrl(dest, RndvRequest(env, total, reply))
@@ -385,7 +387,7 @@ class RankDevice:
             yield self.engine.timeout(
                 pack_cost_generic(self.node.memory, groups, cfg)
             )
-            packed = pack(mem, base, ft, count)
+            packed = plan.execute_pack(mem, base)
         elif mode == TransferMode.DMA:
             # DMA path (the paper's Sec. 6 outlook): flatten-pack into
             # registered memory with the fast ff loop, then DMA the chunks.
@@ -393,7 +395,7 @@ class RankDevice:
             yield self.engine.timeout(
                 pack_cost_direct(self.node.memory, groups, cfg)
             )
-            packed = pack(mem, base, ft, count)
+            packed = plan.execute_pack(mem, base)
 
         pos = 0
         index = 0
@@ -407,12 +409,12 @@ class RankDevice:
                     else TransferMode.CONTIGUOUS
                 )
             elif mode == TransferMode.CONTIGUOUS:
-                data = pack_range(mem, base, ft, count, pos, n)
+                data = plan.execute_pack(mem, base, pos, n)
                 groups = [(n, 1)]
                 chunk_mode = mode
             else:  # direct_pack_ff
-                data = pack_range(mem, base, ft, count, pos, n)
-                groups = block_groups_in_range(ft, count, pos, n)
+                data = plan.execute_pack(mem, base, pos, n)
+                groups = plan.groups_in_range(pos, n)
                 chunk_mode = mode
             yield from self._write_chunk(
                 dest, ack.region, data, chunk_mode, groups, src_cached
@@ -458,6 +460,7 @@ class RankDevice:
                 raise MPIError("count is required for non-contiguous datatypes")
             count = buf.nbytes // dtype.size if dtype.size else 0
         capacity = ft.size * count
+        plan = get_plan(ft, count)
         mem = buf.space.mem
         base = buf.base
         cfg = self.config
@@ -476,9 +479,9 @@ class RankDevice:
             if n > capacity:
                 raise MessageTruncated(f"short message of {n} B > buffer {capacity} B")
             if not dtype.is_contiguous:
-                groups = block_groups_in_range(ft, count, 0, n)
+                groups = plan.groups_in_range(0, n)
                 yield self.engine.timeout(pack_cost_direct(memory, groups, cfg))
-            unpack_range(mem, base, ft, count, 0, msg.data)
+            plan.execute_unpack(mem, base, 0, msg.data)
             if msg.sync_reply is not None:
                 yield from self.send_ctrl(msg.envelope.source, True,
                                           to_channel=msg.sync_reply)
@@ -495,15 +498,15 @@ class RankDevice:
             )
             if (mode in (TransferMode.DIRECT, TransferMode.DMA)
                     and not dtype.is_contiguous):
-                groups = block_groups_in_range(ft, count, 0, n)
+                groups = plan.groups_in_range(0, n)
                 yield self.engine.timeout(pack_cost_direct(memory, groups, cfg))
             elif mode == TransferMode.GENERIC:
                 yield self.engine.timeout(local_chunk_copy_cost(memory, n))
-                groups = block_groups_in_range(ft, count, 0, n)
+                groups = plan.groups_in_range(0, n)
                 yield self.engine.timeout(pack_cost_generic(memory, groups, cfg))
             else:
                 yield self.engine.timeout(local_chunk_copy_cost(memory, n))
-            unpack_range(mem, base, ft, count, 0, data)
+            plan.execute_unpack(mem, base, 0, data)
             # Credit keyed by *this* rank at the sender's pool.
             yield from self.send_ctrl(
                 msg.envelope.source, CreditReturn((self.rank, msg.slot_index))
@@ -542,12 +545,12 @@ class RankDevice:
                       and not dtype.is_contiguous):
                     # Direct (and DMA) receivers unpack each chunk straight
                     # into the user buffer with the ff loop.
-                    groups = block_groups_in_range(ft, count, pos, n)
+                    groups = plan.groups_in_range(pos, n)
                     yield self.engine.timeout(pack_cost_direct(memory, groups, cfg))
-                    unpack_range(mem, base, ft, count, pos, data)
+                    plan.execute_unpack(mem, base, pos, data)
                 else:
                     yield self.engine.timeout(local_chunk_copy_cost(memory, n))
-                    unpack_range(mem, base, ft, count, pos, data)
+                    plan.execute_unpack(mem, base, pos, data)
                 pos += n
                 yield from self.send_ctrl(
                     msg.envelope.source, ChunkCredit(ready.index), to_channel=msg.reply
@@ -556,7 +559,7 @@ class RankDevice:
                 # Generic: the final recursive unpack of the whole message.
                 groups = ft.block_length_groups(count)
                 yield self.engine.timeout(pack_cost_generic(memory, groups, cfg))
-                unpack_range(mem, base, ft, count, 0, packed_tmp)
+                plan.execute_unpack(mem, base, 0, packed_tmp)
         finally:
             self.rndv_lock.release()
         self._trace("recv.end", source=msg.envelope.source, protocol="rndv")

@@ -24,7 +24,21 @@ from typing import TYPE_CHECKING, Any, Iterator, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .cluster.builder import Cluster
 
-__all__ = ["TraceEvent", "Tracer", "attach_tracer", "TraceSpan"]
+__all__ = ["TraceEvent", "Tracer", "attach_tracer", "TraceSpan",
+           "pack_plan_cache_stats"]
+
+
+def pack_plan_cache_stats() -> dict:
+    """Hit/miss/build counters of the packing-plan cache.
+
+    The cache memoizes resolved block-offset tables per
+    ``(FlattenedType, count)`` (see :mod:`repro.mpi.flatten.plan`);
+    these counters are the trace-level view of how often the hot pack
+    paths reused a plan instead of re-deriving offset tables.
+    """
+    from .mpi.flatten import plan_cache_stats
+
+    return plan_cache_stats()
 
 
 @dataclass(frozen=True)
@@ -109,6 +123,13 @@ class Tracer:
             lines.append(f"  rank {rank}: " + "  ".join(parts))
         if len(lines) == 1:
             lines.append("  (no spans recorded)")
+        stats = pack_plan_cache_stats()
+        lines.append(
+            "  pack-plan cache: "
+            f"hits={stats['hits']} misses={stats['misses']} "
+            f"builds={stats['builds']} size={stats['size']}/{stats['maxsize']}"
+            + ("" if stats["enabled"] else " (disabled)")
+        )
         return "\n".join(lines)
 
 

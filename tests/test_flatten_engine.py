@@ -339,3 +339,37 @@ def test_property_flatten_invariants(dtype):
         assert leaf.size >= 0
         for level in leaf.levels:
             assert level.count >= 2  # count-1 levels must have been dropped
+
+
+class TestAsAccessRunRegressions:
+    """Layouts that must NOT collapse to a uniform strided run.
+
+    Each case would produce wrong remote accesses if ``as_access_run``
+    returned a run for it; they pin the guards in the collapse logic.
+    """
+
+    def test_shrunk_resized_overlapping_instances(self):
+        # extent (4) < size (8): instance k+1 starts inside instance k.
+        dtype = Resized(DOUBLE, lb=0, extent=4).commit()
+        assert as_access_run(dtype.flattened, 2) is None
+
+    def test_shrunk_resized_vector(self):
+        # Natural span is 56 bytes but the resized extent is only 16, so
+        # counted instances interleave their blocks.
+        dtype = Resized(Vector(4, 1, 2, DOUBLE), lb=0, extent=16).commit()
+        ft = dtype.flattened
+        assert ft.extent < ft.span()[1] - ft.span()[0]
+        assert as_access_run(ft, 2) is None
+
+    def test_blocks_times_stride_not_extent(self):
+        # No trailing gap: extent = 56 != 4 * 16, so count > 1 does not
+        # tile as one longer vector.
+        ft = Vector(4, 1, 2, DOUBLE).commit().flattened
+        assert ft.extent != 4 * 16
+        assert as_access_run(ft, 3) is None
+        assert as_access_run(ft, 1) is not None  # single instance is fine
+
+    def test_stride_smaller_than_block(self):
+        # Hvector with byte stride 4 < block size 8: blocks overlap.
+        ft = Hvector(3, 1, 4, DOUBLE).commit().flattened
+        assert as_access_run(ft, 1) is None

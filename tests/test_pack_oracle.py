@@ -1,0 +1,296 @@
+"""Differential test oracles for the pack engine and packing plans.
+
+Two deliberately naive oracles, checked against a seeded random generator
+of nested vector/indexed/struct/resized datatype trees:
+
+* a **recursive tree walk** over the datatype tree resolves the memory
+  address of every data byte with no vectorization, no merging and no
+  stacks.  The engine's packed *order* is leaf-major within an instance
+  (the flattened representation's Fig. 6 iteration; canonical MPI tree
+  order differs whenever a constructor wraps a multi-leaf oldtype), so
+  this oracle asserts the order-independent invariant: flattening maps
+  exactly the same multiset of byte addresses — nothing lost, nothing
+  duplicated, nothing invented by the commit-time merge rules;
+* a **recursive leaf-stack walk** re-derives every block offset of the
+  committed representation by pure-Python recursion over the level
+  stacks (no numpy, no mixed-radix arithmetic) and defines the expected
+  byte-for-byte stream.  ``pack``, ``pack_range``, ``unpack_range`` and
+  the plan-backed ``PackPlan.execute_*`` must agree with it exactly,
+  including ranges split at block boundaries +/- 1.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    INT,
+    SHORT,
+    Contiguous,
+    Hindexed,
+    Hvector,
+    Indexed,
+    Resized,
+    Struct,
+    Vector,
+)
+from repro.mpi.datatypes.basic import BasicType
+from repro.mpi.flatten import PackPlan, get_plan, pack, pack_range, unpack_range
+
+N_CASES = 210
+
+BASICS = [BYTE, CHAR, SHORT, INT, DOUBLE]
+
+
+# -- the oracle -------------------------------------------------------------------
+
+
+def tree_walk_offsets(dtype) -> list[int]:
+    """Byte offsets (instance-relative) of every data byte, in canonical
+    MPI tree order.
+
+    Pure recursive tree walk — the slow traversal the ff-stacks replace.
+    Used for the order-independent address-coverage check (the engine's
+    stream is leaf-major, which permutes this order for constructors that
+    wrap multi-leaf oldtypes).
+    """
+    if isinstance(dtype, BasicType):
+        return list(range(dtype.size))
+    if isinstance(dtype, Contiguous):
+        child = tree_walk_offsets(dtype.oldtype)
+        return [
+            i * dtype.oldtype.extent + o
+            for i in range(dtype.count)
+            for o in child
+        ]
+    if isinstance(dtype, Hvector):  # covers Vector
+        child = tree_walk_offsets(dtype.oldtype)
+        return [
+            i * dtype.stride_bytes + j * dtype.oldtype.extent + o
+            for i in range(dtype.count)
+            for j in range(dtype.blocklength)
+            for o in child
+        ]
+    if isinstance(dtype, Hindexed):  # covers Indexed
+        child = tree_walk_offsets(dtype.oldtype)
+        return [
+            disp + j * dtype.oldtype.extent + o
+            for disp, blk in zip(dtype.displacements_bytes, dtype.blocklengths)
+            for j in range(blk)
+            for o in child
+        ]
+    if isinstance(dtype, Struct):
+        out: list[int] = []
+        for disp, blk, ftype in zip(
+            dtype.displacements_bytes, dtype.blocklengths, dtype.types
+        ):
+            child = tree_walk_offsets(ftype)
+            out.extend(
+                disp + j * ftype.extent + o for j in range(blk) for o in child
+            )
+        return out
+    if isinstance(dtype, Resized):
+        return tree_walk_offsets(dtype.oldtype)
+    raise TypeError(f"oracle cannot walk {dtype!r}")
+
+
+def naive_block_offsets(leaf) -> list[int]:
+    """Every block offset of one leaf, by pure recursion over the levels.
+
+    Outermost level varies slowest — the iteration order Fig. 6
+    prescribes — with none of the numpy broadcasting or mixed-radix
+    arithmetic ``LeafSpec.block_offsets`` uses.
+    """
+
+    def rec(levels):
+        if not levels:
+            return [0]
+        head, rest = levels[0], levels[1:]
+        tail = rec(rest)
+        return [i * head.extent + o for i in range(head.count) for o in tail]
+
+    return [leaf.offset + o for o in rec(list(leaf.levels))]
+
+
+def oracle_offsets(ft) -> list[int]:
+    """Byte offsets (instance-relative) of every data byte, in the
+    leaf-major packed-stream order of the committed representation."""
+    offs: list[int] = []
+    for leaf in ft.leaves:
+        for boff in naive_block_offsets(leaf):
+            offs.extend(range(boff, boff + leaf.size))
+    return offs
+
+
+def oracle_pack(mem, base, dtype, count, offs):
+    """Per-byte sequential gather of ``count`` instances."""
+    return np.array(
+        [
+            mem[base + inst * dtype.extent + o]
+            for inst in range(count)
+            for o in offs
+        ],
+        dtype=np.uint8,
+    )
+
+
+def oracle_unpack_range(mem, base, dtype, count, offs, byte_offset, data):
+    """Per-byte sequential scatter of a packed-stream slice."""
+    size = len(offs)
+    for k in range(len(data)):
+        inst, within = divmod(byte_offset + k, size)
+        mem[base + inst * dtype.extent + offs[within]] = data[k]
+
+
+# -- the generator ----------------------------------------------------------------
+
+
+def random_dtype(rng: random.Random, depth: int = 3):
+    """A random non-overlapping datatype tree with odd extents mixed in."""
+    if depth == 0 or rng.random() < 0.25:
+        return rng.choice(BASICS)
+    kind = rng.choice(
+        ["contig", "vector", "hvector", "indexed", "struct", "resized"]
+    )
+    old = random_dtype(rng, depth - 1)
+    if kind == "contig":
+        return Contiguous(rng.randint(1, 3), old)
+    if kind == "vector":
+        blocklen = rng.randint(1, 3)
+        stride = blocklen + rng.randint(0, 3)  # >= blocklen: no overlap
+        return Vector(rng.randint(1, 3), blocklen, stride, old)
+    if kind == "hvector":
+        blocklen = rng.randint(1, 2)
+        # Byte stride: at least the block span, plus an odd-ish gap.
+        stride = blocklen * old.extent + rng.choice([0, 1, 3, 5, 9])
+        return Hvector(rng.randint(1, 3), blocklen, stride, old)
+    if kind == "indexed":
+        blocklengths, displacements = [], []
+        cursor = 0
+        for _ in range(rng.randint(1, 3)):
+            blk = rng.randint(0, 3)
+            disp = cursor + rng.randint(0, 2)
+            blocklengths.append(blk)
+            displacements.append(disp)
+            cursor = disp + blk + 1  # disjoint entries
+        return Indexed(blocklengths, displacements, old)
+    if kind == "struct":
+        blks, disps, types = [], [], []
+        cursor = 0
+        for _ in range(rng.randint(1, 3)):
+            ftype = rng.choice(BASICS) if rng.random() < 0.5 else old
+            blk = rng.randint(0, 2)
+            disp = cursor + rng.randint(0, 7)
+            blks.append(blk)
+            disps.append(disp)
+            types.append(ftype)
+            cursor = disp + blk * ftype.extent
+        return Struct(blks, disps, types)
+    # resized: odd extent padding (never shrinks, so instances stay disjoint)
+    return Resized(old, lb=old.lb, extent=old.extent + rng.choice([1, 3, 5, 7]))
+
+
+def _base_and_mem(ft, count, seed):
+    lo, hi = ft.span()
+    lo_total = min(lo, lo + (count - 1) * ft.extent) if count else 0
+    hi_total = max(hi, hi + (count - 1) * ft.extent) if count else 0
+    base = 64 - min(0, lo_total)
+    rng = np.random.default_rng(seed)
+    size = base + max(0, hi_total) + 128
+    return base, rng.integers(0, 256, size=size, dtype=np.uint8)
+
+
+def block_boundaries(ft, count) -> list[int]:
+    """All packed-stream offsets where a basic block starts or ends."""
+    bounds = {0, ft.size * count}
+    for inst in range(count):
+        for leaf, start in zip(ft.leaves, ft.leaf_starts):
+            for k in range(leaf.block_count + 1):
+                bounds.add(inst * ft.size + start + k * leaf.size)
+    return sorted(bounds)
+
+
+# -- the differential suite --------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(N_CASES))
+def test_differential_oracle(seed):
+    rng = random.Random(1000 + seed)
+    dtype = random_dtype(rng).commit()
+    count = rng.randint(1, 8)
+    ft = dtype.flattened
+
+    tree_offs = tree_walk_offsets(dtype)
+    assert len(tree_offs) == dtype.size, "oracle and datatype disagree on size"
+    offs = oracle_offsets(ft)
+    # Order-independent invariant: commit-time merging may permute the
+    # stream (leaf-major order) but must cover the exact same addresses.
+    assert sorted(offs) == sorted(tree_offs)
+
+    base, mem = _base_and_mem(ft, count, seed)
+    expected = oracle_pack(mem, base, dtype, count, offs)
+    total = expected.nbytes
+
+    # Full pack: engine and plan vs oracle.
+    assert np.array_equal(pack(mem, base, ft, count), expected)
+    plan = get_plan(ft, count)
+    assert np.array_equal(plan.execute_pack(mem, base), expected)
+
+    if total == 0:
+        assert plan.execute_pack(mem, base, 0, 0).nbytes == 0
+        return
+
+    # Ranges split at block boundaries +/- 1.
+    bounds = block_boundaries(ft, count)
+    picks = rng.sample(bounds, min(3, len(bounds)))
+    starts = sorted(
+        s
+        for b in picks
+        for s in (b - 1, b, b + 1)
+        if 0 <= s <= total
+    )
+    for s in starts:
+        n = rng.randint(0, min(total - s, 2048))
+        payload = expected[s : s + n]
+        assert np.array_equal(pack_range(mem, base, ft, count, s, n), payload)
+        assert np.array_equal(plan.execute_pack(mem, base, s, n), payload)
+
+        scratch_oracle = _base_and_mem(ft, count, seed + 7)[1]
+        scratch_engine = scratch_oracle.copy()
+        scratch_plan = scratch_oracle.copy()
+        oracle_unpack_range(scratch_oracle, base, dtype, count, offs, s, payload)
+        unpack_range(scratch_engine, base, ft, count, s, payload)
+        plan.execute_unpack(scratch_plan, base, s, payload)
+        assert np.array_equal(scratch_engine, scratch_oracle), ("unpack", s, n)
+        assert np.array_equal(scratch_plan, scratch_oracle), ("plan unpack", s, n)
+
+
+def test_oracle_case_count():
+    """The differential suite covers at least the 200 cases ISSUE asks for."""
+    assert N_CASES >= 200
+
+
+class TestShrunkResizedPackOnly:
+    """Overlapping instances (shrunk Resized extent): pack is still defined
+    (reads commute); unpack is order-dependent, so only pack is compared."""
+
+    @pytest.mark.parametrize("count", [2, 3, 5])
+    def test_overlapping_instances_pack(self, count):
+        dtype = Resized(Vector(3, 1, 2, DOUBLE), lb=0, extent=16).commit()
+        ft = dtype.flattened
+        assert ft.extent < ft.span()[1] - ft.span()[0]  # genuinely shrunk
+        base, mem = _base_and_mem(ft, count, seed=11)
+        offs = oracle_offsets(ft)
+        assert sorted(offs) == sorted(tree_walk_offsets(dtype))
+        expected = oracle_pack(mem, base, dtype, count, offs)
+        assert np.array_equal(pack(mem, base, ft, count), expected)
+        plan = PackPlan(ft, count)
+        assert np.array_equal(plan.execute_pack(mem, base), expected)
+        for s, n in [(0, 8), (7, 9), (23, 25), (ft.size * count - 1, 1)]:
+            assert np.array_equal(
+                plan.execute_pack(mem, base, s, n), expected[s : s + n]
+            )
