@@ -31,6 +31,7 @@ from ..hardware.sci.ringlet import RingTopology, TorusTopology
 from ..mpi.comm import Communicator
 from ..mpi.pt2pt.config import DEFAULT_PROTOCOL, ProtocolConfig
 from ..mpi.pt2pt.engine import MPIWorld
+from ..mpi.transport.policy import TransferPolicy
 from ..memlib import Buffer
 from ..sim import Engine, Process
 from ..smi import SMIContext
@@ -96,6 +97,7 @@ class Cluster:
         topology: Optional[RingTopology | TorusTopology] = None,
         mem_per_node: int = 96 * MiB,
         echo_ratio: float = 0.1,
+        policy: Optional["TransferPolicy"] = None,
     ):
         if n_nodes < 1 or procs_per_node < 1:
             raise ValueError("need at least one node and one process per node")
@@ -112,7 +114,7 @@ class Cluster:
             node for node in range(n_nodes) for _ in range(procs_per_node)
         ]
         self.smi = SMIContext(self.engine, self.fabric, self.nodes, rank_to_node)
-        self.world = MPIWorld(self.smi, protocol)
+        self.world = MPIWorld(self.smi, protocol, policy=policy)
         self.contexts = [RankContext(self, r) for r in range(self.world.n_ranks)]
 
     @property

@@ -1,9 +1,19 @@
 """Collective operations built on the point-to-point device.
 
-Classic算法: binomial trees for barrier/bcast/reduce, ring allgather,
-recursive structure kept simple — these exist to support the examples and
-benchmarks (the paper's focus is pt2pt datatypes and one-sided), but they
-are real implementations exercising the full protocol stack.
+Classic algorithms: binomial trees for barrier/bcast/reduce, ring
+allgather, recursive structure kept simple — these exist to support the
+examples and benchmarks (the paper's focus is pt2pt datatypes and
+one-sided), but they are real implementations exercising the full
+protocol stack: every payload byte moves through the transport layer's
+scheduler via ``comm.send``/``comm.recv``.
+
+When the world's :class:`~repro.mpi.transport.policy.TransferPolicy`
+asks for it (``collective_chunk``), large broadcasts are split into
+packed-stream *segments* and pipelined down a chain of ranks — the
+plan-aware chunked data path (each segment packs straight out of user
+memory; no staging copy).  The ring allgather and the pairwise alltoall
+are already pipelined at message granularity, so the default policy
+keeps them monolithic.
 
 All functions are DES generators taking the caller's Communicator.
 Reduction operates on numpy-typed views.
@@ -64,13 +74,35 @@ def barrier(comm: "Communicator"):
         distance *= 2
 
 
+def _collective_chunk(comm: "Communicator", buf: "Buffer", datatype,
+                      count: Optional[int]):
+    """Policy decision for one collective payload: ``(dtype, count,
+    total_bytes, chunk_or_None)``."""
+    dtype = datatype if datatype is not None else BYTE
+    dtype.commit()
+    if count is None:
+        if not dtype.is_contiguous or not dtype.size:
+            return dtype, count, 0, None
+        count = buf.nbytes // dtype.size
+    total = dtype.flattened.size * count
+    chunk = comm.device.policy.collective_chunk(total, comm.size)
+    if chunk is not None and chunk >= total:
+        chunk = None
+    return dtype, count, total, chunk
+
+
 def bcast(comm: "Communicator", buf: "Buffer", root: int = 0,
           datatype=None, count: Optional[int] = None):
-    """Binomial-tree broadcast."""
+    """Broadcast: binomial tree, or a chain-pipelined segment stream when
+    the transfer policy asks for chunking."""
     size = comm.size
     if size == 1:
         return
         yield  # pragma: no cover - generator marker
+    dtype, rcount, total, chunk = _collective_chunk(comm, buf, datatype, count)
+    if chunk is not None:
+        yield from _bcast_chained(comm, buf, root, dtype, rcount, total, chunk)
+        return
     rank = comm.rank
     relative = (rank - root) % size
     # Climb masks until our lowest set bit: that's where our parent is.
@@ -91,6 +123,40 @@ def bcast(comm: "Communicator", buf: "Buffer", root: int = 0,
             yield from comm.send(buf, child, tag=COLL_TAG + 2,
                                  datatype=datatype, count=count)
         mask >>= 1
+
+
+def _bcast_chained(comm: "Communicator", buf: "Buffer", root: int,
+                   datatype, count: int, total: int, chunk: int):
+    """Chain-pipelined chunked broadcast.
+
+    Ranks form a chain starting at the root; each rank receives segment
+    ``k`` of the packed stream from its predecessor while its forward of
+    segment ``k - 1`` to the successor is still in flight (one
+    outstanding send — the transport-level analogue of the rendezvous
+    handshake cycle, but across ranks).  Segments travel as
+    ``segment=(offset, nbytes)`` sends: the packing plan packs each range
+    straight out of (and unpacks straight into) user memory.
+    """
+    size, rank = comm.size, comm.rank
+    relative = (rank - root) % size
+    prev = (rank - 1) % size
+    nxt = (rank + 1) % size
+    pending = None
+    pos = 0
+    while pos < total:
+        n = min(chunk, total - pos)
+        seg = (pos, n)
+        if relative != 0:
+            yield from comm.recv(buf, source=prev, tag=COLL_TAG + 2,
+                                 datatype=datatype, count=count, segment=seg)
+        if relative != size - 1:
+            if pending is not None:
+                yield from pending.wait()
+            pending = comm.isend(buf, nxt, tag=COLL_TAG + 2,
+                                 datatype=datatype, count=count, segment=seg)
+        pos += n
+    if pending is not None:
+        yield from pending.wait()
 
 
 def reduce(comm: "Communicator", sendbuf: "Buffer", recvbuf: Optional["Buffer"],

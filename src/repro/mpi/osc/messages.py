@@ -54,7 +54,13 @@ class OSCGet:
 
 @dataclass
 class OSCAccumulate:
-    """Emulated accumulate: combine ``data`` into the target's window."""
+    """Emulated accumulate: combine ``data`` into the target's window.
+
+    ``plan``, when set, is the packing plan of a non-contiguous target
+    layout: the handler gathers the previous contents along it, combines
+    element-wise and scatters the result back; the fetched value is the
+    previous contents in packed order.
+    """
 
     win_id: int
     origin: int
@@ -63,6 +69,7 @@ class OSCAccumulate:
     op: str
     np_dtype: np.dtype
     ack: "Event"
+    plan: "object" = None
 
 
 @dataclass

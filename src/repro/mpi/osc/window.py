@@ -19,6 +19,12 @@ implementation strategy, reproduced here:
   target (post/start/complete/wait) and passive target (lock/unlock with
   SMI shared-memory locks).
 
+Strategy selection (direct vs. remote-put vs. emulated) comes from the
+world's :class:`~repro.mpi.transport.policy.TransferPolicy`; every payload
+byte moves through the device's
+:class:`~repro.mpi.transport.store.RemoteStore` /
+:class:`~repro.mpi.transport.scheduler.TransferScheduler`.
+
 Ranks in the public :class:`Win` API are communicator-local; internal
 messages carry world ranks.
 """
@@ -30,13 +36,14 @@ from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
 
-from ...hardware.sci.transactions import AccessRun
 from ...sim import Channel, Event
 from ...smi import SMIBarrier, SMILock
 from ..coll.collectives import OPS
 from ..datatypes.base import Datatype
 from ..errors import RMAError
-from ..flatten import as_access_run, get_plan
+from ..flatten import get_plan
+from ..pt2pt.costs import pack_cost_direct
+from ..transport import OSCStrategy, resolve_target_run
 from .messages import OSCAccumulate, OSCGet, OSCNotice, OSCPut
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -105,11 +112,37 @@ class OSCEngine:
             return
 
         if isinstance(msg, OSCAccumulate):
-            view = part.local_view()[msg.disp : msg.disp + msg.data.nbytes]
-            typed_target = view.view(msg.np_dtype)
+            n = msg.data.nbytes
+            view = part.local_view()
+            if msg.plan is not None:
+                # Non-contiguous target layout: gather the previous
+                # contents along the packing plan, combine element-wise,
+                # scatter the result back (two ff pack loops on top of
+                # the read-modify-write).
+                groups = device.scheduler.plan_groups(msg.plan)
+                yield device.engine.timeout(
+                    device.node.memory.copy_cost(n).duration * 1.5
+                    + 2 * pack_cost_direct(device.node.memory, groups,
+                                           device.config)
+                )
+                fetched = msg.plan.execute_pack(view, msg.disp)
+                typed_prev = fetched.view(msg.np_dtype)
+                typed_incoming = msg.data.view(msg.np_dtype)
+                if msg.op == "replace":
+                    result = typed_incoming
+                else:
+                    result = OPS[msg.op](typed_prev, typed_incoming)
+                msg.plan.execute_unpack(
+                    view, msg.disp, 0,
+                    np.ascontiguousarray(result).view(np.uint8),
+                )
+                msg.ack.succeed(fetched)
+                return
+            target = view[msg.disp : msg.disp + n]
+            typed_target = target.view(msg.np_dtype)
             typed_incoming = msg.data.view(msg.np_dtype)
             yield device.engine.timeout(
-                device.node.memory.copy_cost(msg.data.nbytes).duration * 1.5
+                device.node.memory.copy_cost(n).duration * 1.5
             )
             fetched = np.array(typed_target, copy=True)
             if msg.op == "replace":
@@ -124,22 +157,10 @@ class OSCEngine:
         # region ("the target process writes the data into the origin
         # process' address space", Sec. 4.2).
         origin_device = device.world.device(msg.origin)
-        response = origin_device.response_region
         data = np.array(part.local_view()[msg.disp : msg.disp + msg.nbytes], copy=True)
-        if device.smi.same_node(device.rank, msg.origin):
-            yield device.engine.timeout(
-                device.node.memory.copy_cost(msg.nbytes).duration
-            )
-            response.local_view()[
-                msg.response_offset : msg.response_offset + msg.nbytes
-            ] = data
-        else:
-            handle = response.handle(device.rank)
-            yield from handle.write(
-                data, AccessRun.contiguous(msg.response_offset, msg.nbytes),
-                src_cached=False,
-            )
-            yield from handle.barrier()
+        yield from device.store.respond_remote_put(
+            msg.origin, origin_device.response_region, msg.response_offset, data
+        )
         msg.done.succeed()
 
 
@@ -198,6 +219,8 @@ class Win:
         self.device = comm.device
         self.engine = comm.engine
         self.config = self.device.config
+        self.policy = self.device.policy
+        self.store = self.device.store
         #: World ranks touched by direct stores since the last sync (need
         #: a store barrier at the synchronization point).
         self._dirty_targets: set[int] = set()
@@ -244,6 +267,19 @@ class Win:
                 f"{part.nbytes} B at world rank {part.world_rank}"
             )
 
+    def _check_layout(self, part: WinPart, disp: int, nbytes: int, run,
+                      target_datatype: Optional[Datatype]) -> None:
+        """Bounds-check the target footprint (strided run or full span)."""
+        if run is not None:
+            end = (
+                run.base + (run.count - 1) * run.stride + run.size
+                if run.count else run.base
+            )
+            self._check(part, run.base, max(0, end - run.base))
+        else:
+            span_lo, span_hi = target_datatype.flattened.span()
+            self._check(part, disp + span_lo, span_hi - span_lo)
+
     @staticmethod
     def _as_bytes(data) -> np.ndarray:
         if isinstance(data, np.ndarray):
@@ -252,20 +288,6 @@ class Win:
             return np.frombuffer(bytes(data), dtype=np.uint8)
         # repro.memlib.Buffer
         return np.array(data.read(), copy=True)
-
-    def _target_run(self, disp: int, nbytes: int,
-                    target_datatype: Optional[Datatype],
-                    target_count: int) -> Optional[AccessRun]:
-        if target_datatype is None:
-            return AccessRun.contiguous(disp, nbytes)
-        target_datatype.commit()
-        run = as_access_run(target_datatype.flattened, target_count, base=disp)
-        if run is not None and run.total_bytes != nbytes:
-            raise RMAError(
-                f"origin data of {nbytes} B does not match target type of "
-                f"{run.total_bytes} B"
-            )
-        return run
 
     # -- data operations ----------------------------------------------------------------
 
@@ -276,15 +298,11 @@ class Win:
         n = payload.nbytes
         part = self.part(target)
         wtarget = part.world_rank
+        self.device._trace("osc.put.begin", target=wtarget, nbytes=n)
         yield self.engine.timeout(self.config.osc_call_overhead)
 
-        run = self._target_run(target_disp, n, target_datatype, target_count)
-        if run is not None:
-            end = run.base + (run.count - 1) * run.stride + run.size if run.count else run.base
-            self._check(part, run.base, max(0, end - run.base))
-        else:
-            span_lo, span_hi = target_datatype.flattened.span()
-            self._check(part, target_disp + span_lo, span_hi - span_lo)
+        run = resolve_target_run(target_disp, n, target_datatype, target_count)
+        self._check_layout(part, target_disp, n, run, target_datatype)
 
         if wtarget == self.world_rank:
             # Local window: a plain store.
@@ -295,20 +313,24 @@ class Win:
             else:
                 from ...hardware.sci.segments import scatter_run
                 scatter_run(part.local_view(), run, payload)
+            self.device._trace("osc.put.end", target=wtarget, strategy="local")
             return
 
-        if part.shared and run is not None:
+        strategy = self.policy.put_strategy(part.shared, run is not None)
+        if strategy == OSCStrategy.DIRECT:
             # Direct path: transparent remote stores.
-            handle = part.region.handle(self.world_rank)
-            yield from handle.write(payload, run, src_cached=self.device._src_cached(n))
+            yield from self.store.write_run(
+                part.region, run, payload,
+                src_cached=self.policy.src_cached(n, self.device.node),
+            )
             self._dirty_targets.add(wtarget)
             self.counters["direct_puts"] += 1
-            return
-
-        # Emulation (private window memory, or a target layout too complex
-        # for a single strided store run).
-        yield from self._emulated_put(part, payload, wtarget, target_disp,
-                                      target_datatype, target_count, run)
+        else:
+            # Emulation (private window memory, or a target layout too
+            # complex for a single strided store run).
+            yield from self._emulated_put(part, payload, wtarget, target_disp,
+                                          target_datatype, target_count, run)
+        self.device._trace("osc.put.end", target=wtarget, strategy=strategy)
 
     def _emulated_put(self, part, payload, wtarget, target_disp,
                       target_datatype, target_count, run):
@@ -326,20 +348,10 @@ class Win:
 
             msg.apply = apply
         # Ship the payload (a data transfer on the ring) + remote interrupt.
-        if not device.smi.same_node(self.world_rank, wtarget):
-            from ..pt2pt.costs import contiguous_remote_chunk_duration
-            duration = contiguous_remote_chunk_duration(
-                device.node.params, target_disp, n, device._src_cached(n)
-            )
-            yield from device.world.smi.fabric.transfer_raw(
-                device.node.node_id, device.smi.node_of(wtarget).node_id, n, duration
-            )
-            yield from device.world.smi.fabric.post_interrupt(
-                device.node.node_id, device.smi.node_of(wtarget).node_id
-            )
-        else:
-            yield self.engine.timeout(device.node.memory.copy_cost(n).duration)
-        device.world.device(wtarget).service.put(msg)
+        yield from self.store.ship_emulated(
+            wtarget, target_disp, n, msg,
+            src_cached=self.policy.src_cached(n, device.node),
+        )
         self._pending_acks.append(ack)
         self.counters["emulated_puts"] += 1
 
@@ -348,63 +360,57 @@ class Win:
         """MPI_Get (DES generator): returns the fetched bytes."""
         part = self.part(target)
         wtarget = part.world_rank
+        self.device._trace("osc.get.begin", target=wtarget, nbytes=nbytes)
         yield self.engine.timeout(self.config.osc_call_overhead)
-        run = self._target_run(target_disp, nbytes, target_datatype, target_count)
+        run = resolve_target_run(target_disp, nbytes, target_datatype,
+                                 target_count)
 
         if wtarget == self.world_rank:
             yield self.engine.timeout(self.device.node.memory.copy_cost(nbytes).duration)
             if run is None:
                 plan = get_plan(target_datatype.flattened, target_count)
-                return plan.execute_pack(part.local_view(), target_disp)
-            from ...hardware.sci.segments import gather_run
-            return gather_run(part.local_view(), run)
-
-        if (
-            part.shared
-            and run is not None
-            and nbytes <= self.config.remote_put_threshold
-        ):
-            # Small direct read: transparent remote loads (CPU stalls).
-            handle = part.region.handle(self.world_rank)
-            data = yield from handle.read(run)
-            self.counters["direct_gets"] += 1
+                data = plan.execute_pack(part.local_view(), target_disp)
+            else:
+                from ...hardware.sci.segments import gather_run
+                data = gather_run(part.local_view(), run)
+            self.device._trace("osc.get.end", target=wtarget, strategy="local")
             return data
 
-        # Remote-put conversion (shared, large) or full emulation (private):
-        # the target pushes the data into our response region.
-        data = yield from self._emulated_get(part, nbytes, wtarget, target_disp)
-        if part.shared:
-            self.counters["remote_puts"] += 1
+        strategy = self.policy.get_strategy(nbytes, part.shared, run is not None)
+        if strategy == OSCStrategy.DIRECT:
+            # Small direct read: transparent remote loads (CPU stalls).
+            data = yield from self.store.read_run(part.region, run)
+            self.counters["direct_gets"] += 1
         else:
-            self.counters["emulated_gets"] += 1
+            # Remote-put conversion (shared, large) or full emulation
+            # (private): the target pushes into our response region.
+            data = yield from self._emulated_get(part, nbytes, wtarget,
+                                                 target_disp)
+            if strategy == OSCStrategy.REMOTE_PUT:
+                self.counters["remote_puts"] += 1
+            else:
+                self.counters["emulated_gets"] += 1
+        self.device._trace("osc.get.end", target=wtarget, strategy=strategy)
         return data
 
     def _emulated_get(self, part, nbytes, wtarget, target_disp):
         device = self.device
-        response = device.response_region
-        chunk = response.nbytes
-        out = np.empty(nbytes, dtype=np.uint8)
-        pos = 0
-        while pos < nbytes:
-            n = min(chunk, nbytes - pos)
+
+        def make_request(disp, n):
             done = Event(self.engine, name=f"osc-get-done-w{self.world_rank}")
-            msg = OSCGet(self.state.win_id, self.world_rank,
-                         target_disp + pos, n, 0, done)
-            yield from device.send_ctrl(wtarget, msg)
-            if not device.smi.same_node(self.world_rank, wtarget):
-                yield from device.world.smi.fabric.post_interrupt(
-                    device.node.node_id, device.smi.node_of(wtarget).node_id
-                )
-            yield done
-            # Copy out of the response region (cache-cold protocol copy).
-            from ..pt2pt.costs import local_chunk_copy_cost
-            yield self.engine.timeout(local_chunk_copy_cost(device.node.memory, n))
-            out[pos : pos + n] = response.local_view()[:n]
-            pos += n
-        return out
+            msg = OSCGet(self.state.win_id, self.world_rank, disp, n, 0, done)
+            yield from self.store.request_emulated(wtarget, msg)
+            return done
+
+        data = yield from device.scheduler.fetch_via_response(
+            target_disp, nbytes, make_request
+        )
+        return data
 
     def accumulate(self, data, target: int, target_disp: int = 0,
-                   op: str = "sum", datatype=None, fetch: bool = False):
+                   op: str = "sum", datatype=None, fetch: bool = False,
+                   target_datatype: Optional[Datatype] = None,
+                   target_count: int = 1):
         """MPI_Accumulate / MPI_Get_accumulate: combine origin data into the
         target window.
 
@@ -412,6 +418,10 @@ class Win:
         the target CPU; SCI has no remote atomics on commodity adapters).
         With ``fetch=True`` behaves like MPI_Get_accumulate and returns the
         target's *previous* contents (the call then blocks until applied).
+        ``target_datatype``/``target_count`` describe a (possibly
+        non-contiguous) target layout; the handler gathers / scatters
+        along its packing plan and the fetched result is the previous
+        contents in packed order.
         """
         from ..datatypes.basic import DOUBLE
 
@@ -422,48 +432,81 @@ class Win:
         n = payload.nbytes
         part = self.part(target)
         wtarget = part.world_rank
-        self._check(part, target_disp, n)
+        plan = None
+        if target_datatype is not None:
+            target_datatype.commit()
+            plan = get_plan(target_datatype.flattened, target_count)
+            if plan.total != n:
+                raise RMAError(
+                    f"origin data of {n} B does not match target type of "
+                    f"{plan.total} B"
+                )
+            span_lo, span_hi = target_datatype.flattened.span()
+            self._check(part, target_disp + span_lo, span_hi - span_lo)
+        else:
+            self._check(part, target_disp, n)
+        self.device._trace("osc.acc.begin", target=wtarget, nbytes=n, op=op)
         yield self.engine.timeout(self.config.osc_call_overhead)
         device = self.device
         if wtarget == self.world_rank:
-            view = part.local_view()[target_disp : target_disp + n]
-            typed = view.view(basic.np_dtype)
-            incoming = payload.view(basic.np_dtype)
-            yield self.engine.timeout(device.node.memory.copy_cost(n).duration * 1.5)
-            fetched = np.array(typed, copy=True)
-            if op == "replace":
-                typed[:] = incoming
+            view = part.local_view()
+            if plan is not None:
+                groups = device.scheduler.plan_groups(plan)
+                yield self.engine.timeout(
+                    device.node.memory.copy_cost(n).duration * 1.5
+                    + 2 * pack_cost_direct(device.node.memory, groups,
+                                           self.config)
+                )
+                fetched = plan.execute_pack(view, target_disp)
+                typed_prev = fetched.view(basic.np_dtype)
+                incoming = payload.view(basic.np_dtype)
+                result = (
+                    incoming if op == "replace"
+                    else OPS[op](typed_prev, incoming)
+                )
+                plan.execute_unpack(
+                    view, target_disp, 0,
+                    np.ascontiguousarray(result).view(np.uint8),
+                )
             else:
-                typed[:] = OPS[op](fetched, incoming)
+                target_view = view[target_disp : target_disp + n]
+                typed = target_view.view(basic.np_dtype)
+                incoming = payload.view(basic.np_dtype)
+                yield self.engine.timeout(
+                    device.node.memory.copy_cost(n).duration * 1.5
+                )
+                fetched = np.array(typed, copy=True)
+                if op == "replace":
+                    typed[:] = incoming
+                else:
+                    typed[:] = OPS[op](fetched, incoming)
             self.counters["accumulates"] += 1
+            self.device._trace("osc.acc.end", target=wtarget, strategy="local")
             return fetched if fetch else None
         ack = Event(self.engine, name=f"osc-acc-ack-w{self.world_rank}")
         msg = OSCAccumulate(self.state.win_id, self.world_rank, target_disp,
-                            payload, op, basic.np_dtype, ack)
-        if not device.smi.same_node(self.world_rank, wtarget):
-            from ..pt2pt.costs import contiguous_remote_chunk_duration
-            duration = contiguous_remote_chunk_duration(
-                device.node.params, target_disp, n, True
-            )
-            yield from device.world.smi.fabric.transfer_raw(
-                device.node.node_id, device.smi.node_of(wtarget).node_id, n, duration
-            )
-            yield from device.world.smi.fabric.post_interrupt(
-                device.node.node_id, device.smi.node_of(wtarget).node_id
-            )
-        device.world.device(wtarget).service.put(msg)
+                            payload, op, basic.np_dtype, ack, plan=plan)
+        yield from self.store.ship_emulated(
+            wtarget, target_disp, n, msg, src_cached=True
+        )
         self.counters["accumulates"] += 1
         if fetch:
             fetched = yield ack
+            self.device._trace("osc.acc.end", target=wtarget,
+                               strategy="emulated")
             return fetched
         self._pending_acks.append(ack)
+        self.device._trace("osc.acc.end", target=wtarget, strategy="emulated")
         return None
 
     def fetch_and_op(self, value, target: int, target_disp: int = 0,
-                     op: str = "sum", datatype=None):
+                     op: str = "sum", datatype=None,
+                     target_datatype: Optional[Datatype] = None,
+                     target_count: int = 1):
         """MPI_Fetch_and_op: single-element get-accumulate (generator)."""
         result = yield from self.accumulate(
-            value, target, target_disp, op=op, datatype=datatype, fetch=True
+            value, target, target_disp, op=op, datatype=datatype, fetch=True,
+            target_datatype=target_datatype, target_count=target_count,
         )
         return result
 
@@ -474,8 +517,7 @@ class Win:
         for wtarget in sorted(self._dirty_targets):
             part = self.parts[wtarget]
             if part.shared:
-                handle = part.region.handle(self.world_rank)
-                yield from handle.barrier()
+                yield from self.store.store_barrier(part.region)
         self._dirty_targets.clear()
         if self._pending_acks:
             yield self.engine.all_of(self._pending_acks)
@@ -495,8 +537,7 @@ class Win:
         if wtarget in self._dirty_targets:
             part = self.parts[wtarget]
             if part.shared:
-                handle = part.region.handle(self.world_rank)
-                yield from handle.barrier()
+                yield from self.store.store_barrier(part.region)
             self._dirty_targets.discard(wtarget)
         if self._pending_acks:
             yield self.engine.all_of(self._pending_acks)
@@ -504,9 +545,11 @@ class Win:
 
     def fence(self):
         """MPI_Win_fence: complete all accesses, then synchronize everyone."""
+        self.device._trace("osc.fence.begin")
         yield self.engine.timeout(self.config.osc_call_overhead)
         yield from self._complete_outstanding()
         yield from self.state.fence_barrier.enter(self.world_rank)
+        self.device._trace("osc.fence.end")
 
     def post(self, origin_group: list[int]):
         """Expose the local window to ``origin_group`` (MPI_Win_post)."""
@@ -548,13 +591,17 @@ class Win:
         implementation serializes via SMI spinlocks and recommends against
         contended passive access anyway.
         """
+        self.device._trace("osc.lock.begin", target=self._world(target))
         yield self.engine.timeout(self.config.osc_call_overhead)
         yield from self.state.locks[self._world(target)].acquire(self.world_rank)
+        self.device._trace("osc.lock.end", target=self._world(target))
 
     def unlock(self, target: int):
         """Release the passive-target lock after completing accesses."""
+        self.device._trace("osc.unlock.begin", target=self._world(target))
         yield from self._complete_outstanding()
         yield from self.state.locks[self._world(target)].release(self.world_rank)
+        self.device._trace("osc.unlock.end", target=self._world(target))
 
 
 def win_create(comm: "Communicator", size_bytes: int, shared: bool = True):

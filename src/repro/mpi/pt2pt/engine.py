@@ -14,6 +14,12 @@ stores and then post a control packet.  Three protocols by packed size:
 Non-contiguous datatypes take one of the Fig. 4 paths: *generic* (pack →
 contiguous transfer → unpack) or *direct_pack_ff* (pack straight into the
 remote buffer / unpack straight out of the local one).
+
+Since the transport refactor, this module holds *protocol state and
+matching* only: protocol/mode selection lives in
+:class:`~repro.mpi.transport.policy.TransferPolicy` and every payload
+byte moves through :class:`~repro.mpi.transport.scheduler.TransferScheduler`
+/ :class:`~repro.mpi.transport.store.RemoteStore`.
 """
 
 from __future__ import annotations
@@ -21,21 +27,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-import numpy as np
-
 from ...sim import Channel, Engine, Lock, Resource
 from ...smi import SMIContext
 from ..datatypes.base import Datatype
-from ..errors import MessageTruncated, MPIError
+from ..errors import MPIError
 from ..flatten import get_plan
-from .config import DEFAULT_PROTOCOL, NonContigMode, ProtocolConfig
-from .costs import (
-    contiguous_remote_chunk_duration,
-    direct_remote_chunk_duration,
-    local_chunk_copy_cost,
-    pack_cost_direct,
-    pack_cost_generic,
-)
+from ..transport.policy import Protocol, TransferMode, TransferPolicy
+from ..transport.scheduler import TransferScheduler
+from .config import DEFAULT_PROTOCOL, ProtocolConfig
 from .messages import (
     ANY_SOURCE,
     ANY_TAG,
@@ -62,41 +61,17 @@ class Status:
     nbytes: int
 
 
-class TransferMode:
-    CONTIGUOUS = "contiguous"
-    GENERIC = NonContigMode.GENERIC
-    DIRECT = NonContigMode.DIRECT
-    DMA = NonContigMode.DMA
-
-
-@dataclass
-class RndvAck:
-    """Receiver's answer to a rendezvous request."""
-
-    chunk_channel: Channel
-    region: Any  # the receiver's rendezvous SharedRegion
-    chunk_size: int
-
-
-@dataclass
-class ChunkReady:
-    index: int
-    nbytes: int
-    last: bool
-
-
-@dataclass
-class ChunkCredit:
-    index: int
-
-
 class MPIWorld:
     """All per-rank devices plus shared configuration."""
 
-    def __init__(self, smi: SMIContext, config: ProtocolConfig = DEFAULT_PROTOCOL):
+    def __init__(self, smi: SMIContext, config: ProtocolConfig = DEFAULT_PROTOCOL,
+                 policy: Optional[TransferPolicy] = None):
         self.smi = smi
         self.engine: Engine = smi.engine
         self.config = config
+        #: The transport policy every device consults (pluggable; bound to
+        #: this world's protocol config).
+        self.policy = (policy or TransferPolicy(config)).bind(config)
         self.devices = [RankDevice(self, rank) for rank in range(smi.n_ranks)]
 
     @property
@@ -117,6 +92,7 @@ class RankDevice:
         self.smi = world.smi
         self.node = world.smi.node_of(rank)
         self.config = world.config
+        self.policy = world.policy
         self.match = MatchQueues(self.engine)
         self.service: Channel = Channel(self.engine, name=f"svc-r{rank}")
 
@@ -140,6 +116,9 @@ class RankDevice:
         self.tracer = None
         #: Perf counters.
         self.counters = {"sends": 0, "recvs": 0, "short": 0, "eager": 0, "rndv": 0}
+        #: The chunked data path (owns the RemoteStore and chunk stats).
+        self.scheduler = TransferScheduler(self)
+        self.store = self.scheduler.store
 
         self.engine.process(self._service_loop(), name=f"svc-r{rank}", daemon=True)
 
@@ -200,82 +179,26 @@ class RankDevice:
             self._eager_free[dst] = list(range(self.config.eager_slots))
         return self._eager_credits[dst], self._eager_free[dst]
 
-    # -- mode selection ------------------------------------------------------------
+    # -- message geometry ------------------------------------------------------------
 
-    def _transfer_mode(self, dtype: Datatype) -> str:
-        if dtype.is_contiguous:
-            return TransferMode.CONTIGUOUS
-        mode = self.config.noncontig_mode
-        if mode == NonContigMode.GENERIC:
-            return TransferMode.GENERIC
-        if mode == NonContigMode.DIRECT:
-            return TransferMode.DIRECT
-        if mode == NonContigMode.DMA:
-            return TransferMode.DMA
-        # AUTO: direct if the smallest basic block is big enough (the
-        # footnote-1 minimal-block-size knob).
-        min_block = min(
-            (leaf.size for leaf in dtype.flattened.leaves), default=0
-        )
-        if min_block >= self.config.direct_min_block:
-            return TransferMode.DIRECT
-        return TransferMode.GENERIC
+    @staticmethod
+    def _resolve_segment(plan, segment: Optional[tuple[int, int]]) -> tuple[int, int]:
+        """Validated ``(stream offset, nbytes)`` of the transfer."""
+        if segment is None:
+            return 0, plan.total
+        seg_off, seg_len = segment
+        if seg_off < 0 or seg_len < 0 or seg_off + seg_len > plan.total:
+            raise MPIError(
+                f"segment [{seg_off}, {seg_off + seg_len}) outside packed "
+                f"stream of {plan.total} B"
+            )
+        return seg_off, seg_len
 
-    def _src_cached(self, total: int) -> bool:
-        return 2 * total <= self.node.params.memory.caches.l2_size
-
-    # -- chunk transfer helpers ------------------------------------------------------
-
-    def _chunk_groups(self, mode, plan, pos, nbytes):
-        if mode == TransferMode.CONTIGUOUS:
-            return [(nbytes, 1)]
-        return plan.groups_in_range(pos, nbytes)
-
-    def _write_chunk(self, dst: int, region, data: np.ndarray, mode: str,
-                     groups: list[tuple[int, int]], src_cached: bool):
-        """Ship ``data`` into offset 0.. of ``region`` at ``dst`` and place it."""
-        n = data.nbytes
-        remote = not self.smi.same_node(self.rank, dst)
-        memory = self.node.memory
-        if remote:
-            params = self.node.params
-            if mode == TransferMode.DMA:
-                yield from self.world.smi.fabric.dma_transfer(
-                    self.node.node_id, self.smi.node_of(dst).node_id, n
-                )
-            else:
-                if mode == TransferMode.DIRECT:
-                    duration = direct_remote_chunk_duration(
-                        params, memory, 0, groups, self.config, src_cached
-                    )
-                else:
-                    duration = contiguous_remote_chunk_duration(params, 0, n, src_cached)
-                yield from self.world.smi.fabric.transfer_raw(
-                    self.node.node_id, self.smi.node_of(dst).node_id, n, duration
-                )
-        else:
-            if mode == TransferMode.DIRECT:
-                yield self.engine.timeout(
-                    pack_cost_direct(memory, groups, self.config)
-                )
-            else:
-                yield self.engine.timeout(local_chunk_copy_cost(memory, n))
-        region.local_view()[: n] = data
-
-    # -- send ------------------------------------------------------------------------
-
-    def send(self, buf: "Buffer", dest: int, tag: int = 0,
-             datatype: Optional[Datatype] = None, count: Optional[int] = None,
-             context: int = 0, sync: bool = False):
-        """Blocking send (DES generator).
-
-        ``sync=True`` gives MPI_Ssend semantics: the call completes only
-        once the receiver has matched the message.
-        """
+    def _message(self, buf: "Buffer", datatype: Optional[Datatype],
+                 count: Optional[int], segment: Optional[tuple[int, int]]):
+        """Common send/recv prologue: plan + stream segment geometry."""
         from ..datatypes.basic import BYTE
 
-        if not 0 <= dest < self.world.n_ranks:
-            raise MPIError(f"invalid destination rank {dest}")
         dtype = datatype if datatype is not None else BYTE
         dtype.commit()
         ft = dtype.flattened
@@ -283,154 +206,64 @@ class RankDevice:
             if not dtype.is_contiguous:
                 raise MPIError("count is required for non-contiguous datatypes")
             count = buf.nbytes // dtype.size if dtype.size else 0
-        total = ft.size * count
         plan = get_plan(ft, count)
+        seg_off, total = self._resolve_segment(plan, segment)
+        return dtype, ft, count, plan, seg_off, total
+
+    # -- send ------------------------------------------------------------------------
+
+    def send(self, buf: "Buffer", dest: int, tag: int = 0,
+             datatype: Optional[Datatype] = None, count: Optional[int] = None,
+             context: int = 0, sync: bool = False,
+             segment: Optional[tuple[int, int]] = None):
+        """Blocking send (DES generator).
+
+        ``sync=True`` gives MPI_Ssend semantics: the call completes only
+        once the receiver has matched the message.  ``segment`` restricts
+        the transfer to a byte range of the packed stream (used by the
+        chunked collectives; both sides must agree on the range).
+        """
+        if not 0 <= dest < self.world.n_ranks:
+            raise MPIError(f"invalid destination rank {dest}")
+        dtype, ft, count, plan, seg_off, total = self._message(
+            buf, datatype, count, segment
+        )
         mem = buf.space.mem
         base = buf.base
-        cfg = self.config
         self.counters["sends"] += 1
-        yield self.engine.timeout(cfg.call_overhead)
+        yield self.engine.timeout(self.config.call_overhead)
 
-        mode = self._transfer_mode(dtype)
+        mode = self.policy.transfer_mode(dtype)
         env = Envelope(self.rank, tag, context)
-        src_cached = self._src_cached(total)
-        memory = self.node.memory
+        src_cached = self.policy.src_cached(total, self.node)
         sync_reply = Channel(self.engine, name="ssend-ack") if sync else None
         self._trace("send.begin", dest=dest, tag=tag, nbytes=total, mode=mode)
 
-        if total <= cfg.short_threshold:
-            # Short: pack inline (tiny, stack loop either way) + control.
-            payload = plan.execute_pack(mem, base)
-            if not dtype.is_contiguous:
-                groups = ft.block_length_groups(count)
-                yield self.engine.timeout(pack_cost_direct(memory, groups, cfg))
-            yield from self.send_ctrl(dest, ShortMsg(env, payload, sync_reply))
+        scheduler = self.scheduler
+        protocol = self.policy.protocol(total)
+        if protocol == Protocol.SHORT:
+            yield from scheduler.send_short(
+                dest, env, mem, base, ft, plan, count, seg_off, total,
+                dtype.is_contiguous, sync_reply,
+            )
             self.counters["short"] += 1
-        elif total <= cfg.eager_threshold:
-            yield from self._send_eager(dest, env, mem, base, ft, plan, count,
-                                        total, mode, src_cached, sync_reply)
+        elif protocol == Protocol.EAGER:
+            yield from scheduler.send_eager(
+                dest, env, mem, base, ft, plan, count, seg_off, total, mode,
+                src_cached, sync_reply,
+            )
             self.counters["eager"] += 1
         else:
             # Rendezvous is inherently synchronous.
-            yield from self._send_rndv(dest, env, mem, base, ft, plan, count,
-                                       total, mode, src_cached)
+            yield from scheduler.send_rndv(
+                dest, env, mem, base, ft, plan, count, seg_off, total, mode,
+                src_cached,
+            )
             self.counters["rndv"] += 1
             sync_reply = None
         if sync_reply is not None:
             yield sync_reply.get()
-        protocol = (
-            "short" if total <= cfg.short_threshold
-            else "eager" if total <= cfg.eager_threshold
-            else "rndv"
-        )
         self._trace("send.end", dest=dest, protocol=protocol)
-
-    def _send_eager(self, dest, env, mem, base, ft, plan, count, total, mode,
-                    src_cached, sync_reply=None):
-        cfg = self.config
-        if mode == TransferMode.DMA:
-            # DMA setup dwarfs eager-sized messages; fall back to the
-            # generic PIO path (what SCI-MPICH's DMA protocol does too).
-            mode = TransferMode.GENERIC
-        credits, free = self._eager_pool(dest)
-        yield credits.request()
-        slot = free.pop()
-        peer_region = self.world.device(dest).eager_region
-        slot_offset = (self.rank * cfg.eager_slots + slot) * cfg.eager_threshold
-
-        if mode == TransferMode.GENERIC:
-            groups = ft.block_length_groups(count)
-            yield self.engine.timeout(
-                pack_cost_generic(self.node.memory, groups, cfg)
-            )
-        data = plan.execute_pack(mem, base)
-        groups = self._chunk_groups(mode, plan, 0, total)
-        remote = not self.smi.same_node(self.rank, dest)
-        memory = self.node.memory
-        n = data.nbytes
-        if remote:
-            params = self.node.params
-            if mode == TransferMode.DIRECT:
-                duration = direct_remote_chunk_duration(
-                    params, memory, slot_offset, groups, cfg, src_cached
-                )
-            else:
-                duration = contiguous_remote_chunk_duration(
-                    params, slot_offset, n, src_cached
-                )
-            yield from self.world.smi.fabric.transfer_raw(
-                self.node.node_id, self.smi.node_of(dest).node_id, n, duration
-            )
-        else:
-            if mode == TransferMode.DIRECT:
-                yield self.engine.timeout(pack_cost_direct(memory, groups, cfg))
-            else:
-                yield self.engine.timeout(local_chunk_copy_cost(memory, n))
-        peer_region.local_view()[slot_offset : slot_offset + n] = data
-        yield from self.send_ctrl(
-            dest, EagerMsg(env, slot_offset, n, slot_index=slot,
-                           sync_reply=sync_reply)
-        )
-
-    def _send_rndv(self, dest, env, mem, base, ft, plan, count, total, mode,
-                   src_cached):
-        cfg = self.config
-        reply: Channel = Channel(self.engine, name=f"rndv-reply-r{self.rank}")
-        yield from self.send_ctrl(dest, RndvRequest(env, total, reply))
-        ack: RndvAck = yield reply.get()
-
-        packed: Optional[np.ndarray] = None
-        if mode == TransferMode.GENERIC:
-            # Generic path: recursive pack of the whole message up front
-            # (Fig. 4 top).
-            groups = ft.block_length_groups(count)
-            yield self.engine.timeout(
-                pack_cost_generic(self.node.memory, groups, cfg)
-            )
-            packed = plan.execute_pack(mem, base)
-        elif mode == TransferMode.DMA:
-            # DMA path (the paper's Sec. 6 outlook): flatten-pack into
-            # registered memory with the fast ff loop, then DMA the chunks.
-            groups = ft.block_length_groups(count)
-            yield self.engine.timeout(
-                pack_cost_direct(self.node.memory, groups, cfg)
-            )
-            packed = plan.execute_pack(mem, base)
-
-        pos = 0
-        index = 0
-        while pos < total:
-            n = min(ack.chunk_size, total - pos)
-            if packed is not None:
-                data = packed[pos : pos + n]
-                groups = [(n, 1)]
-                chunk_mode = (
-                    TransferMode.DMA if mode == TransferMode.DMA
-                    else TransferMode.CONTIGUOUS
-                )
-            elif mode == TransferMode.CONTIGUOUS:
-                data = plan.execute_pack(mem, base, pos, n)
-                groups = [(n, 1)]
-                chunk_mode = mode
-            else:  # direct_pack_ff
-                data = plan.execute_pack(mem, base, pos, n)
-                groups = plan.groups_in_range(pos, n)
-                chunk_mode = mode
-            yield from self._write_chunk(
-                dest, ack.region, data, chunk_mode, groups, src_cached
-            )
-            last = pos + n >= total
-            yield from self.send_ctrl(
-                dest, ChunkReady(index, n, last), to_channel=ack.chunk_channel
-            )
-            if not last:
-                credit = yield reply.get()
-                assert isinstance(credit, ChunkCredit)
-            pos += n
-            index += 1
-        # Final credit confirms the receiver drained the last chunk.
-        final = yield reply.get()
-        assert isinstance(final, ChunkCredit)
 
     # -- receive -----------------------------------------------------------------------
 
@@ -448,123 +281,42 @@ class RankDevice:
 
     def recv(self, buf: "Buffer", source: int = ANY_SOURCE, tag: int = ANY_TAG,
              datatype: Optional[Datatype] = None, count: Optional[int] = None,
-             context: int = 0):
+             context: int = 0, segment: Optional[tuple[int, int]] = None):
         """Blocking receive (DES generator); returns a Status."""
-        from ..datatypes.basic import BYTE
-
-        dtype = datatype if datatype is not None else BYTE
-        dtype.commit()
-        ft = dtype.flattened
-        if count is None:
-            if not dtype.is_contiguous:
-                raise MPIError("count is required for non-contiguous datatypes")
-            count = buf.nbytes // dtype.size if dtype.size else 0
-        capacity = ft.size * count
-        plan = get_plan(ft, count)
+        dtype, ft, count, plan, seg_off, capacity = self._message(
+            buf, datatype, count, segment
+        )
         mem = buf.space.mem
         base = buf.base
-        cfg = self.config
         self.counters["recvs"] += 1
         self._trace("recv.begin", source=source, tag=tag)
-        yield self.engine.timeout(cfg.call_overhead)
+        yield self.engine.timeout(self.config.call_overhead)
 
         msg = yield self.match.post(source, tag, context)
         self._trace("recv.matched", source=msg.envelope.source,
                     message=type(msg).__name__)
-        mode = self._transfer_mode(dtype)
-        memory = self.node.memory
+        mode = self.policy.transfer_mode(dtype)
+        contiguous = dtype.is_contiguous
+        scheduler = self.scheduler
 
         if isinstance(msg, ShortMsg):
-            n = msg.data.nbytes
-            if n > capacity:
-                raise MessageTruncated(f"short message of {n} B > buffer {capacity} B")
-            if not dtype.is_contiguous:
-                groups = plan.groups_in_range(0, n)
-                yield self.engine.timeout(pack_cost_direct(memory, groups, cfg))
-            plan.execute_unpack(mem, base, 0, msg.data)
-            if msg.sync_reply is not None:
-                yield from self.send_ctrl(msg.envelope.source, True,
-                                          to_channel=msg.sync_reply)
+            n = yield from scheduler.recv_short(
+                msg, mem, base, ft, plan, count, seg_off, capacity, contiguous
+            )
             self._trace("recv.end", source=msg.envelope.source, protocol="short")
             return Status(msg.envelope.source, msg.envelope.tag, n)
 
         if isinstance(msg, EagerMsg):
-            n = msg.nbytes
-            if n > capacity:
-                raise MessageTruncated(f"eager message of {n} B > buffer {capacity} B")
-            region = self.eager_region
-            data = np.array(
-                region.local_view()[msg.slot_offset : msg.slot_offset + n], copy=True
+            n = yield from scheduler.recv_eager(
+                msg, mem, base, ft, plan, count, seg_off, capacity, mode,
+                contiguous,
             )
-            if (mode in (TransferMode.DIRECT, TransferMode.DMA)
-                    and not dtype.is_contiguous):
-                groups = plan.groups_in_range(0, n)
-                yield self.engine.timeout(pack_cost_direct(memory, groups, cfg))
-            elif mode == TransferMode.GENERIC:
-                yield self.engine.timeout(local_chunk_copy_cost(memory, n))
-                groups = plan.groups_in_range(0, n)
-                yield self.engine.timeout(pack_cost_generic(memory, groups, cfg))
-            else:
-                yield self.engine.timeout(local_chunk_copy_cost(memory, n))
-            plan.execute_unpack(mem, base, 0, data)
-            # Credit keyed by *this* rank at the sender's pool.
-            yield from self.send_ctrl(
-                msg.envelope.source, CreditReturn((self.rank, msg.slot_index))
-            )
-            if msg.sync_reply is not None:
-                yield from self.send_ctrl(msg.envelope.source, True,
-                                          to_channel=msg.sync_reply)
             self._trace("recv.end", source=msg.envelope.source, protocol="eager")
             return Status(msg.envelope.source, msg.envelope.tag, n)
 
         assert isinstance(msg, RndvRequest)
-        total = msg.nbytes
-        if total > capacity:
-            raise MessageTruncated(f"rendezvous of {total} B > buffer {capacity} B")
-        yield self.rndv_lock.request()
-        try:
-            chunk_channel: Channel = Channel(self.engine, name=f"rndv-chunks-r{self.rank}")
-            ack = RndvAck(chunk_channel, self.rndv_region, cfg.rendezvous_chunk)
-            yield from self.send_ctrl(msg.envelope.source, ack, to_channel=msg.reply)
-
-            packed_tmp: Optional[np.ndarray] = (
-                np.empty(total, dtype=np.uint8)
-                if mode == TransferMode.GENERIC
-                else None
-            )
-            pos = 0
-            while pos < total:
-                ready: ChunkReady = yield chunk_channel.get()
-                n = ready.nbytes
-                data = np.array(self.rndv_region.local_view()[:n], copy=True)
-                if packed_tmp is not None:
-                    # Generic: protocol copy into the packed temp buffer.
-                    yield self.engine.timeout(local_chunk_copy_cost(memory, n))
-                    packed_tmp[pos : pos + n] = data
-                elif (mode in (TransferMode.DIRECT, TransferMode.DMA)
-                      and not dtype.is_contiguous):
-                    # Direct (and DMA) receivers unpack each chunk straight
-                    # into the user buffer with the ff loop.
-                    groups = plan.groups_in_range(pos, n)
-                    yield self.engine.timeout(pack_cost_direct(memory, groups, cfg))
-                    plan.execute_unpack(mem, base, pos, data)
-                else:
-                    yield self.engine.timeout(local_chunk_copy_cost(memory, n))
-                    plan.execute_unpack(mem, base, pos, data)
-                pos += n
-                yield from self.send_ctrl(
-                    msg.envelope.source, ChunkCredit(ready.index), to_channel=msg.reply
-                )
-            if packed_tmp is not None:
-                # Generic: the final recursive unpack of the whole message.
-                groups = ft.block_length_groups(count)
-                yield self.engine.timeout(pack_cost_generic(memory, groups, cfg))
-                plan.execute_unpack(mem, base, 0, packed_tmp)
-        finally:
-            self.rndv_lock.release()
+        total = yield from scheduler.recv_rndv(
+            msg, mem, base, ft, plan, count, seg_off, capacity, mode, contiguous
+        )
         self._trace("recv.end", source=msg.envelope.source, protocol="rndv")
         return Status(msg.envelope.source, msg.envelope.tag, total)
-
-    @staticmethod
-    def _recv_count(ft, nbytes: int) -> int:
-        return nbytes // ft.size if ft.size else 0

@@ -1,0 +1,44 @@
+"""Target-layout resolution for one-sided transfers.
+
+Whether a one-sided operation can use direct remote stores depends on the
+*target* datatype collapsing to a single strided access run the SCI
+adapter can stream (``as_access_run``); anything richer goes through the
+emulated path with a full packing plan.  This is the transport layer's
+one place that makes the call — ``osc/window.py`` used to duplicate it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ...hardware.sci.transactions import AccessRun
+from ..errors import RMAError
+from ..flatten import as_access_run
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..datatypes.base import Datatype
+
+__all__ = ["resolve_target_run"]
+
+
+def resolve_target_run(disp: int, nbytes: int,
+                       target_datatype: Optional["Datatype"],
+                       target_count: int) -> Optional[AccessRun]:
+    """The single strided run of a one-sided target layout, if one exists.
+
+    Returns a contiguous run for untyped targets, a strided run when the
+    (committed) target datatype collapses to one, and ``None`` when the
+    layout is too complex for transparent stores (emulation required).
+    Raises :class:`RMAError` when the origin byte count does not match the
+    target type's packed size.
+    """
+    if target_datatype is None:
+        return AccessRun.contiguous(disp, nbytes)
+    target_datatype.commit()
+    run = as_access_run(target_datatype.flattened, target_count, base=disp)
+    if run is not None and run.total_bytes != nbytes:
+        raise RMAError(
+            f"origin data of {nbytes} B does not match target type of "
+            f"{run.total_bytes} B"
+        )
+    return run

@@ -1,0 +1,178 @@
+"""Transfer policies: every data-path decision in one pluggable object.
+
+The paper's protocol machinery is a collection of thresholds — short vs.
+eager vs. rendezvous (Sec. 3.3), generic vs. direct_pack_ff vs. DMA
+(Fig. 4, footnote 1), direct one-sided access vs. remote-put vs.
+emulation (Sec. 4.2) — that the seed implementation had scattered across
+``pt2pt/engine.py``, ``osc/window.py`` and the collectives.  A
+:class:`TransferPolicy` centralizes them: the device, the window and the
+collectives all *ask the policy* instead of comparing against config
+fields themselves, so the paper's threshold experiments (and
+``benchmarks/test_ablations.py``) become one-line policy swaps.
+
+Policies are frozen dataclasses around a :class:`ProtocolConfig`;
+subclasses override individual decisions (see
+:class:`ChunkedCollectivesPolicy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+from ..pt2pt.config import DEFAULT_PROTOCOL, NonContigMode, ProtocolConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ...hardware.node import Node
+    from ..datatypes.base import Datatype
+
+__all__ = [
+    "ChunkedCollectivesPolicy",
+    "DEFAULT_POLICY",
+    "OSCStrategy",
+    "Protocol",
+    "TransferMode",
+    "TransferPolicy",
+]
+
+
+class Protocol:
+    """Point-to-point protocol names (by packed payload size)."""
+
+    SHORT = "short"
+    EAGER = "eager"
+    RNDV = "rndv"
+
+
+class TransferMode:
+    """How the bytes of one message cross the wire (Fig. 4 paths)."""
+
+    CONTIGUOUS = "contiguous"
+    GENERIC = NonContigMode.GENERIC
+    DIRECT = NonContigMode.DIRECT
+    DMA = NonContigMode.DMA
+
+
+class OSCStrategy:
+    """How a one-sided operation reaches the target window (Sec. 4.2)."""
+
+    DIRECT = "direct"          # transparent remote stores / loads
+    REMOTE_PUT = "remote_put"  # target pushes into the origin's response region
+    EMULATED = "emulated"      # control message + remote interrupt + handler
+
+
+@dataclass(frozen=True)
+class TransferPolicy:
+    """The decision table of the unified transport layer.
+
+    One instance serves a whole :class:`~repro.mpi.pt2pt.engine.MPIWorld`;
+    it is stateless (all state lives in the scheduler and the device).
+    """
+
+    config: ProtocolConfig = DEFAULT_PROTOCOL
+
+    def bind(self, config: ProtocolConfig) -> "TransferPolicy":
+        """This policy rebound to another protocol config (keeps subclass)."""
+        if config is self.config:
+            return self
+        return replace(self, config=config)
+
+    # -- point-to-point ------------------------------------------------------------
+
+    def protocol(self, total: int) -> str:
+        """Short / eager / rendezvous selection by packed payload size."""
+        cfg = self.config
+        if total <= cfg.short_threshold:
+            return Protocol.SHORT
+        if total <= cfg.eager_threshold:
+            return Protocol.EAGER
+        return Protocol.RNDV
+
+    def transfer_mode(self, dtype: "Datatype") -> str:
+        """Generic / direct_pack_ff / DMA selection for one datatype."""
+        if dtype.is_contiguous:
+            return TransferMode.CONTIGUOUS
+        mode = self.config.noncontig_mode
+        if mode == NonContigMode.GENERIC:
+            return TransferMode.GENERIC
+        if mode == NonContigMode.DIRECT:
+            return TransferMode.DIRECT
+        if mode == NonContigMode.DMA:
+            return TransferMode.DMA
+        # AUTO: direct if the smallest basic block is big enough (the
+        # footnote-1 minimal-block-size knob).
+        min_block = min(
+            (leaf.size for leaf in dtype.flattened.leaves), default=0
+        )
+        if min_block >= self.config.direct_min_block:
+            return TransferMode.DIRECT
+        return TransferMode.GENERIC
+
+    def chunk_size(self) -> int:
+        """Rendezvous handshake-cycle size (kept below L2, Sec. 3.3.2)."""
+        return self.config.rendezvous_chunk
+
+    def eager_slots(self) -> int:
+        """Credit window: eager slots per (sender, receiver) pair."""
+        return self.config.eager_slots
+
+    def src_cached(self, total: int, node: "Node") -> bool:
+        """Is the source likely still in L2 while being fed to the wire?"""
+        return 2 * total <= node.params.memory.caches.l2_size
+
+    # -- one-sided -----------------------------------------------------------------
+
+    def put_strategy(self, shared: bool, simple_run: bool) -> str:
+        """Direct remote stores, or emulation via the target's handler."""
+        if shared and simple_run:
+            return OSCStrategy.DIRECT
+        return OSCStrategy.EMULATED
+
+    def get_strategy(self, nbytes: int, shared: bool, simple_run: bool) -> str:
+        """Direct remote loads, remote-put conversion, or emulation.
+
+        SCI remote reads stall the CPU per transaction, so direct reading
+        "will only be effective up to a certain amount of data".
+        """
+        if shared and simple_run and nbytes <= self.config.remote_put_threshold:
+            return OSCStrategy.DIRECT
+        if shared:
+            return OSCStrategy.REMOTE_PUT
+        return OSCStrategy.EMULATED
+
+    # -- collectives ---------------------------------------------------------------
+
+    def collective_chunk(self, nbytes: int, size: int) -> Optional[int]:
+        """Segment size for chunked collectives; ``None`` keeps the
+        monolithic algorithms.
+
+        The base policy never chunks — the seed behaviour.  Chunking only
+        pays where segments *pipeline* across ranks (see
+        :class:`ChunkedCollectivesPolicy`); the ring allgather and the
+        pairwise alltoall are already pipelined at message granularity.
+        """
+        return None
+
+
+@dataclass(frozen=True)
+class ChunkedCollectivesPolicy(TransferPolicy):
+    """Chunk large collective payloads through the transport scheduler.
+
+    Broadcasts above ``coll_pipeline_threshold`` are split into
+    ``coll_chunk``-sized packed-stream segments and streamed down a chain
+    of ranks, so rank ``r`` forwards segment ``k`` while receiving segment
+    ``k + 1`` — the transport-level analogue of the rendezvous handshake
+    cycle, but across ranks.  With fewer than three ranks there is nothing
+    to pipeline and the policy falls back to monolithic sends.
+    """
+
+    coll_chunk: int = 64 * 1024
+    coll_pipeline_threshold: int = 64 * 1024
+
+    def collective_chunk(self, nbytes: int, size: int) -> Optional[int]:
+        if size < 3 or nbytes <= self.coll_pipeline_threshold:
+            return None
+        return self.coll_chunk
+
+
+DEFAULT_POLICY = TransferPolicy()

@@ -1,0 +1,368 @@
+"""TransferScheduler: streams packing-plan runs through bounded buffers.
+
+This is the chunked data path of the unified transport layer.  Whatever
+the communication mode — a pt2pt send, a one-sided response, a collective
+segment — the bytes of a message are described by a
+:class:`~repro.mpi.flatten.plan.PackPlan` (coalesced run tables over the
+packed stream) and streamed through bounded SCI packet buffers with
+credit-based flow control:
+
+* **short** — payload inline in the control packet;
+* **eager** — payload into a pre-granted eager slot (credit window of
+  ``eager_slots`` per sender/receiver pair);
+* **rendezvous** — handshake, then chunk-wise streaming through the
+  receiver's rendezvous buffer, one credit per chunk ("handshake
+  cycles", Sec. 3.3.2).
+
+All protocol bodies take a *stream segment* ``(seg_off, total)``: the
+byte range of the packed stream they move.  Whole-message transfers use
+``(0, plan.total)``; chunked collectives hand in sub-ranges, which makes
+plan-aware segmentation free — each segment packs straight out of (and
+unpacks straight into) user memory via the plan's prefix-sum range
+lookup, with no staging copy.
+
+The scheduler also keeps the per-chunk cost accounting (``stats``): how
+many packet-buffer chunks, payload bytes and simulated microseconds this
+rank's transfers consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+from ...sim import Channel
+from ..errors import MessageTruncated
+from ..pt2pt.costs import (
+    local_chunk_copy_cost,
+    pack_cost_direct,
+    pack_cost_generic,
+)
+from ..pt2pt.messages import CreditReturn, EagerMsg, RndvRequest, ShortMsg
+from .policy import TransferMode
+from .store import RemoteStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..flatten import FlattenedType, PackPlan
+    from ..pt2pt.engine import RankDevice
+
+__all__ = ["ChunkCredit", "ChunkReady", "RndvAck", "TransferScheduler"]
+
+
+@dataclass
+class RndvAck:
+    """Receiver's answer to a rendezvous request."""
+
+    chunk_channel: Channel
+    region: Any  # the receiver's rendezvous SharedRegion
+    chunk_size: int
+
+
+@dataclass
+class ChunkReady:
+    index: int
+    nbytes: int
+    last: bool
+
+
+@dataclass
+class ChunkCredit:
+    index: int
+
+
+class TransferScheduler:
+    """One rank's chunked data path over the :class:`RemoteStore`."""
+
+    def __init__(self, device: "RankDevice"):
+        self.device = device
+        self.store = RemoteStore(device)
+        #: Per-chunk cost accounting: every packet-buffer write this rank
+        #: issued, by count / bytes / simulated time.
+        self.stats = {"chunks": 0, "chunk_bytes": 0, "chunk_time": 0.0}
+
+    # -- grouping (the single chunk-group implementation) ---------------------------
+
+    @staticmethod
+    def chunk_groups(mode: str, plan: "PackPlan", pos: int,
+                     nbytes: int) -> list[tuple[int, int]]:
+        """``(block_len, n_blocks)`` groups of one chunk of the stream."""
+        if mode == TransferMode.CONTIGUOUS:
+            return [(nbytes, 1)]
+        return plan.groups_in_range(pos, nbytes)
+
+    @staticmethod
+    def plan_groups(plan: "PackPlan") -> list[tuple[int, int]]:
+        """Whole-plan block groups (what the generic traversal walks)."""
+        return plan.ft.block_length_groups(plan.count)
+
+    @staticmethod
+    def message_groups(plan: "PackPlan", ft: "FlattenedType", count: int,
+                       seg_off: int, total: int) -> list[tuple[int, int]]:
+        """Block groups of a whole message (or of one stream segment).
+
+        Whole messages use the flattened type's per-leaf grouping (what
+        the generic recursive traversal walks); segments use the plan's
+        coalesced range view.
+        """
+        if seg_off == 0 and total == plan.total:
+            return ft.block_length_groups(count)
+        return plan.groups_in_range(seg_off, total)
+
+    # -- chunk write with accounting -------------------------------------------------
+
+    def _write_chunk(self, dst: int, region, offset: int, data: np.ndarray,
+                     mode: str, groups: list[tuple[int, int]],
+                     src_cached: bool):
+        engine = self.device.engine
+        t0 = engine.now
+        yield from self.store.write_packed(
+            dst, region, offset, data, mode, groups, src_cached
+        )
+        self.stats["chunks"] += 1
+        self.stats["chunk_bytes"] += data.nbytes
+        self.stats["chunk_time"] += engine.now - t0
+
+    # -- send protocols ---------------------------------------------------------------
+
+    def send_short(self, dest, env, mem, base, ft, plan, count, seg_off,
+                   total, contiguous, sync_reply):
+        """Short protocol: pack inline (tiny either way) + one ctrl packet."""
+        device = self.device
+        payload = plan.execute_pack(mem, base, seg_off, total)
+        if not contiguous:
+            groups = self.message_groups(plan, ft, count, seg_off, total)
+            yield device.engine.timeout(
+                pack_cost_direct(device.node.memory, groups, device.config)
+            )
+        yield from device.send_ctrl(dest, ShortMsg(env, payload, sync_reply))
+
+    def send_eager(self, dest, env, mem, base, ft, plan, count, seg_off,
+                   total, mode, src_cached, sync_reply=None):
+        """Eager protocol: one credited slot write + control packet."""
+        device = self.device
+        cfg = device.config
+        if mode == TransferMode.DMA:
+            # DMA setup dwarfs eager-sized messages; fall back to the
+            # generic PIO path (what SCI-MPICH's DMA protocol does too).
+            mode = TransferMode.GENERIC
+        credits, free = device._eager_pool(dest)
+        yield credits.request()
+        slot = free.pop()
+        peer_region = device.world.device(dest).eager_region
+        slot_offset = (device.rank * cfg.eager_slots + slot) * cfg.eager_threshold
+
+        if mode == TransferMode.GENERIC:
+            groups = self.message_groups(plan, ft, count, seg_off, total)
+            yield device.engine.timeout(
+                pack_cost_generic(device.node.memory, groups, cfg)
+            )
+        data = plan.execute_pack(mem, base, seg_off, total)
+        groups = self.chunk_groups(mode, plan, seg_off, total)
+        yield from self._write_chunk(
+            dest, peer_region, slot_offset, data, mode, groups, src_cached
+        )
+        yield from device.send_ctrl(
+            dest, EagerMsg(env, slot_offset, data.nbytes, slot_index=slot,
+                           sync_reply=sync_reply)
+        )
+
+    def send_rndv(self, dest, env, mem, base, ft, plan, count, seg_off,
+                  total, mode, src_cached):
+        """Rendezvous protocol: handshake, then credit-paced chunk stream."""
+        device = self.device
+        cfg = device.config
+        reply: Channel = Channel(device.engine, name=f"rndv-reply-r{device.rank}")
+        yield from device.send_ctrl(dest, RndvRequest(env, total, reply))
+        ack: RndvAck = yield reply.get()
+
+        packed: Optional[np.ndarray] = None
+        if mode == TransferMode.GENERIC:
+            # Generic path: recursive pack of the whole message up front
+            # (Fig. 4 top).
+            groups = self.message_groups(plan, ft, count, seg_off, total)
+            yield device.engine.timeout(
+                pack_cost_generic(device.node.memory, groups, cfg)
+            )
+            packed = plan.execute_pack(mem, base, seg_off, total)
+        elif mode == TransferMode.DMA:
+            # DMA path (the paper's Sec. 6 outlook): flatten-pack into
+            # registered memory with the fast ff loop, then DMA the chunks.
+            groups = self.message_groups(plan, ft, count, seg_off, total)
+            yield device.engine.timeout(
+                pack_cost_direct(device.node.memory, groups, cfg)
+            )
+            packed = plan.execute_pack(mem, base, seg_off, total)
+
+        pos = 0
+        index = 0
+        while pos < total:
+            n = min(ack.chunk_size, total - pos)
+            if packed is not None:
+                data = packed[pos : pos + n]
+                groups = [(n, 1)]
+                chunk_mode = (
+                    TransferMode.DMA if mode == TransferMode.DMA
+                    else TransferMode.CONTIGUOUS
+                )
+            elif mode == TransferMode.CONTIGUOUS:
+                data = plan.execute_pack(mem, base, seg_off + pos, n)
+                groups = [(n, 1)]
+                chunk_mode = mode
+            else:  # direct_pack_ff
+                data = plan.execute_pack(mem, base, seg_off + pos, n)
+                groups = plan.groups_in_range(seg_off + pos, n)
+                chunk_mode = mode
+            yield from self._write_chunk(
+                dest, ack.region, 0, data, chunk_mode, groups, src_cached
+            )
+            last = pos + n >= total
+            yield from device.send_ctrl(
+                dest, ChunkReady(index, n, last), to_channel=ack.chunk_channel
+            )
+            if not last:
+                credit = yield reply.get()
+                assert isinstance(credit, ChunkCredit)
+            pos += n
+            index += 1
+        # Final credit confirms the receiver drained the last chunk.
+        final = yield reply.get()
+        assert isinstance(final, ChunkCredit)
+
+    # -- receive protocols -------------------------------------------------------------
+
+    def recv_short(self, msg: ShortMsg, mem, base, ft, plan, count, seg_off,
+                   capacity, contiguous):
+        device = self.device
+        n = msg.data.nbytes
+        if n > capacity:
+            raise MessageTruncated(f"short message of {n} B > buffer {capacity} B")
+        if not contiguous:
+            groups = plan.groups_in_range(seg_off, n)
+            yield device.engine.timeout(
+                pack_cost_direct(device.node.memory, groups, device.config)
+            )
+        plan.execute_unpack(mem, base, seg_off, msg.data)
+        if msg.sync_reply is not None:
+            yield from device.send_ctrl(msg.envelope.source, True,
+                                        to_channel=msg.sync_reply)
+        return n
+
+    def recv_eager(self, msg: EagerMsg, mem, base, ft, plan, count, seg_off,
+                   capacity, mode, contiguous):
+        device = self.device
+        memory = device.node.memory
+        cfg = device.config
+        n = msg.nbytes
+        if n > capacity:
+            raise MessageTruncated(f"eager message of {n} B > buffer {capacity} B")
+        region = device.eager_region
+        data = np.array(
+            region.local_view()[msg.slot_offset : msg.slot_offset + n], copy=True
+        )
+        if (mode in (TransferMode.DIRECT, TransferMode.DMA)
+                and not contiguous):
+            groups = plan.groups_in_range(seg_off, n)
+            yield device.engine.timeout(pack_cost_direct(memory, groups, cfg))
+        elif mode == TransferMode.GENERIC:
+            yield device.engine.timeout(local_chunk_copy_cost(memory, n))
+            groups = plan.groups_in_range(seg_off, n)
+            yield device.engine.timeout(pack_cost_generic(memory, groups, cfg))
+        else:
+            yield device.engine.timeout(local_chunk_copy_cost(memory, n))
+        plan.execute_unpack(mem, base, seg_off, data)
+        # Credit keyed by *this* rank at the sender's pool.
+        yield from device.send_ctrl(
+            msg.envelope.source, CreditReturn((device.rank, msg.slot_index))
+        )
+        if msg.sync_reply is not None:
+            yield from device.send_ctrl(msg.envelope.source, True,
+                                        to_channel=msg.sync_reply)
+        return n
+
+    def recv_rndv(self, msg: RndvRequest, mem, base, ft, plan, count, seg_off,
+                  capacity, mode, contiguous):
+        """Receiver side of the chunk stream: drain, unpack, credit."""
+        device = self.device
+        memory = device.node.memory
+        cfg = device.config
+        total = msg.nbytes
+        if total > capacity:
+            raise MessageTruncated(f"rendezvous of {total} B > buffer {capacity} B")
+        yield device.rndv_lock.request()
+        try:
+            chunk_channel: Channel = Channel(
+                device.engine, name=f"rndv-chunks-r{device.rank}"
+            )
+            ack = RndvAck(chunk_channel, device.rndv_region, cfg.rendezvous_chunk)
+            yield from device.send_ctrl(msg.envelope.source, ack,
+                                        to_channel=msg.reply)
+
+            packed_tmp: Optional[np.ndarray] = (
+                np.empty(total, dtype=np.uint8)
+                if mode == TransferMode.GENERIC
+                else None
+            )
+            pos = 0
+            while pos < total:
+                ready: ChunkReady = yield chunk_channel.get()
+                n = ready.nbytes
+                data = np.array(device.rndv_region.local_view()[:n], copy=True)
+                if packed_tmp is not None:
+                    # Generic: protocol copy into the packed temp buffer.
+                    yield device.engine.timeout(local_chunk_copy_cost(memory, n))
+                    packed_tmp[pos : pos + n] = data
+                elif (mode in (TransferMode.DIRECT, TransferMode.DMA)
+                      and not contiguous):
+                    # Direct (and DMA) receivers unpack each chunk straight
+                    # into the user buffer with the ff loop.
+                    groups = plan.groups_in_range(seg_off + pos, n)
+                    yield device.engine.timeout(
+                        pack_cost_direct(memory, groups, cfg)
+                    )
+                    plan.execute_unpack(mem, base, seg_off + pos, data)
+                else:
+                    yield device.engine.timeout(local_chunk_copy_cost(memory, n))
+                    plan.execute_unpack(mem, base, seg_off + pos, data)
+                pos += n
+                yield from device.send_ctrl(
+                    msg.envelope.source, ChunkCredit(ready.index),
+                    to_channel=msg.reply,
+                )
+            if packed_tmp is not None:
+                # Generic: the final recursive unpack of the whole message.
+                groups = self.message_groups(plan, ft, count, seg_off, total)
+                yield device.engine.timeout(
+                    pack_cost_generic(memory, groups, cfg)
+                )
+                plan.execute_unpack(mem, base, seg_off, packed_tmp)
+        finally:
+            device.rndv_lock.release()
+        return total
+
+    # -- one-sided chunked fetch -------------------------------------------------------
+
+    def fetch_via_response(self, target_disp: int, nbytes: int, make_request):
+        """Chunk a remote-put / emulated get through the response region.
+
+        ``make_request(disp, n)`` issues the control message for one chunk
+        (a DES generator returning the chunk's completion event); the
+        target's handler remote-puts each chunk into this rank's response
+        region, which is then drained with a cache-cold protocol copy.
+        """
+        device = self.device
+        response = device.response_region
+        chunk = response.nbytes
+        out = np.empty(nbytes, dtype=np.uint8)
+        pos = 0
+        while pos < nbytes:
+            n = min(chunk, nbytes - pos)
+            done = yield from make_request(target_disp + pos, n)
+            yield done
+            yield device.engine.timeout(
+                local_chunk_copy_cost(device.node.memory, n)
+            )
+            out[pos : pos + n] = response.local_view()[:n]
+            pos += n
+        return out

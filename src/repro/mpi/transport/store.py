@@ -1,0 +1,159 @@
+"""RemoteStore: the single primitive that moves payload bytes off-rank.
+
+The paper's central mechanism is one and the same for every communication
+mode: the CPU stores data *into mapped remote memory* (transparent PIO
+writes), falling back to an emulated delivery — a control message plus a
+remote interrupt invoking a handler at the target — only where no mapping
+exists (Sec. 4.2).  The seed implementation had four copies of that
+dichotomy (pt2pt chunk writes, eager-slot writes, OSC direct puts, OSC
+emulation shipping); :class:`RemoteStore` is the one place left that
+touches the fabric on behalf of the MPI layers.
+
+Every method is a DES generator charging the same costs the scattered
+seed paths charged; none of them changes simulated timing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ...hardware.sci.transactions import AccessRun
+from ..pt2pt.costs import (
+    contiguous_remote_chunk_duration,
+    direct_remote_chunk_duration,
+    local_chunk_copy_cost,
+    pack_cost_direct,
+)
+from .policy import TransferMode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ...smi.regions import SharedRegion
+    from ..pt2pt.engine import RankDevice
+
+__all__ = ["RemoteStore"]
+
+
+class RemoteStore:
+    """One rank's interface for storing bytes into another rank's memory."""
+
+    def __init__(self, device: "RankDevice"):
+        self.device = device
+
+    # -- packet-buffer writes (pt2pt) ----------------------------------------------
+
+    def write_packed(self, dst: int, region: "SharedRegion", offset: int,
+                     data: np.ndarray, mode: str,
+                     groups: list[tuple[int, int]], src_cached: bool):
+        """Ship ``data`` into ``region[offset:]`` at rank ``dst``.
+
+        Remote: transparent PIO stores (or the DMA engine), costed by the
+        transfer technique.  Local: the pack loop / protocol copy *is* the
+        delivery.
+        """
+        device = self.device
+        n = data.nbytes
+        remote = not device.smi.same_node(device.rank, dst)
+        memory = device.node.memory
+        cfg = device.config
+        if remote:
+            params = device.node.params
+            if mode == TransferMode.DMA:
+                yield from device.world.smi.fabric.dma_transfer(
+                    device.node.node_id, device.smi.node_of(dst).node_id, n
+                )
+            else:
+                if mode == TransferMode.DIRECT:
+                    duration = direct_remote_chunk_duration(
+                        params, memory, offset, groups, cfg, src_cached
+                    )
+                else:
+                    duration = contiguous_remote_chunk_duration(
+                        params, offset, n, src_cached
+                    )
+                yield from device.world.smi.fabric.transfer_raw(
+                    device.node.node_id, device.smi.node_of(dst).node_id, n,
+                    duration,
+                )
+        else:
+            if mode == TransferMode.DIRECT:
+                yield device.engine.timeout(pack_cost_direct(memory, groups, cfg))
+            else:
+                yield device.engine.timeout(local_chunk_copy_cost(memory, n))
+        region.local_view()[offset : offset + n] = data
+
+    # -- direct one-sided access ------------------------------------------------------
+
+    def write_run(self, region: "SharedRegion", run: AccessRun,
+                  data: np.ndarray, src_cached: bool):
+        """Direct put: transparent remote stores along a strided run."""
+        handle = region.handle(self.device.rank)
+        yield from handle.write(data, run, src_cached=src_cached)
+
+    def read_run(self, region: "SharedRegion", run: AccessRun):
+        """Direct get: transparent remote loads (the CPU stalls per txn)."""
+        handle = region.handle(self.device.rank)
+        data = yield from handle.read(run)
+        return data
+
+    def store_barrier(self, region: "SharedRegion"):
+        """All previous direct stores into ``region`` are visible at the owner."""
+        handle = region.handle(self.device.rank)
+        yield from handle.barrier()
+
+    # -- emulated delivery -----------------------------------------------------------
+
+    def ship_emulated(self, wtarget: int, dst_offset: int, nbytes: int,
+                      msg: Any, src_cached: bool):
+        """Deliver an emulated operation carrying ``nbytes`` of payload.
+
+        The payload travels as one contiguous remote write into the
+        target's staging memory, followed by a remote interrupt that kicks
+        the target's handler; intra-node it is a plain protocol copy.
+        ``msg`` lands in the target's service queue either way.
+        """
+        device = self.device
+        if not device.smi.same_node(device.rank, wtarget):
+            duration = contiguous_remote_chunk_duration(
+                device.node.params, dst_offset, nbytes, src_cached
+            )
+            yield from device.world.smi.fabric.transfer_raw(
+                device.node.node_id, device.smi.node_of(wtarget).node_id,
+                nbytes, duration,
+            )
+            yield from device.world.smi.fabric.post_interrupt(
+                device.node.node_id, device.smi.node_of(wtarget).node_id
+            )
+        else:
+            yield device.engine.timeout(
+                device.node.memory.copy_cost(nbytes).duration
+            )
+        device.world.device(wtarget).service.put(msg)
+
+    def request_emulated(self, wtarget: int, msg: Any):
+        """Send a payload-free emulated request (control packet + interrupt)."""
+        device = self.device
+        yield from device.send_ctrl(wtarget, msg)
+        if not device.smi.same_node(device.rank, wtarget):
+            yield from device.world.smi.fabric.post_interrupt(
+                device.node.node_id, device.smi.node_of(wtarget).node_id
+            )
+
+    def respond_remote_put(self, origin: int, response: "SharedRegion",
+                           offset: int, data: np.ndarray):
+        """Remote-put response: this rank (the *target* of a get) writes
+        window data into the origin's response region (Sec. 4.2 — writes
+        are fast on SCI, so the target pushes instead of the origin
+        pulling)."""
+        device = self.device
+        n = data.nbytes
+        if device.smi.same_node(device.rank, origin):
+            yield device.engine.timeout(device.node.memory.copy_cost(n).duration)
+            response.local_view()[offset : offset + n] = data
+        else:
+            handle = response.handle(device.rank)
+            yield from handle.write(
+                data, AccessRun.contiguous(offset, n), src_cached=False
+            )
+            yield from handle.barrier()

@@ -1,6 +1,5 @@
 """Tests for the bench CLI entry point and Request utilities."""
 
-import numpy as np
 import pytest
 
 from repro._units import KiB

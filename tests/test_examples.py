@@ -1,7 +1,6 @@
 """Smoke tests: every example script runs to completion and verifies itself."""
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -1,7 +1,6 @@
 """Tests for heterogeneous node parameters and flow-network conservation."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro._units import KiB, MiB, mib_s, to_mib_s
+from repro._units import KiB, MiB
 from repro.hardware import DEFAULT_NODE, Node, congestion_fraction
 from repro.hardware.sci import (
     AccessRun,

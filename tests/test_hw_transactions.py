@@ -5,8 +5,6 @@ sensitivity (Sec. 4.3), read/write asymmetry (Sec. 2), WC-off halving
 (Sec. 4.3), and PIO-vs-DMA crossover (Fig. 1).
 """
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

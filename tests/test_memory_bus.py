@@ -1,7 +1,6 @@
 """Tests for intra-node memory-bus contention (the Fig. 12 SMP mechanism)."""
 
 import numpy as np
-import pytest
 
 from repro._units import KiB, MiB
 from repro.cluster import Cluster

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro._units import KiB, MiB, to_mib_s
+from repro._units import KiB, MiB
 from repro.hardware import MemorySystem
 from repro.hardware.params import MemoryParams
 

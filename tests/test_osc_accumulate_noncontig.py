@@ -1,0 +1,204 @@
+"""Accumulate / fetch_and_op on non-contiguous window datatypes.
+
+The target layout travels as a :class:`~repro.mpi.flatten.plan.PackPlan`:
+the target's handler gathers the previous contents along the plan,
+combines element-wise and scatters the result back; the fetched value is
+the previous contents in packed order.  Verified differentially against a
+pure tree-walk oracle (``tests/test_pack_oracle.py`` style) and for
+plan-cache on/off equivalence.
+"""
+
+import numpy as np
+import pytest
+
+from repro._units import KiB
+from repro.cluster import Cluster
+from repro.mpi.datatypes import DOUBLE, Vector
+from repro.mpi.errors import RMAError
+from repro.mpi.flatten import plan_cache_disabled
+
+from .test_pack_oracle import tree_walk_offsets
+
+WIN_SIZE = 8 * KiB
+DISP = 64
+
+STRIDED = lambda: Vector(4, 2, 4, DOUBLE)  # noqa: E731
+NESTED = lambda: Vector(3, 1, 2, Vector(2, 2, 3, DOUBLE))  # noqa: E731
+
+
+def data_byte_offsets(dtype, count, disp):
+    """Absolute window offsets of every data byte, in packed order
+    (single-leaf trees: tree order == leaf-major stream order)."""
+    per_instance = tree_walk_offsets(dtype)
+    return np.array(
+        [disp + i * dtype.extent + o
+         for i in range(count) for o in per_instance],
+        dtype=np.int64,
+    )
+
+
+def init_window_bytes():
+    return (np.arange(WIN_SIZE // 8, dtype=np.float64) * 0.125).view(np.uint8)
+
+
+def oracle_accumulate(dtype, count, incoming, op):
+    """Expected window bytes + fetched packed bytes, by pure numpy."""
+    window = np.array(init_window_bytes(), copy=True)
+    offs = data_byte_offsets(dtype, count, DISP)
+    prev = np.array(window[offs], copy=True)
+    typed_prev = prev.view(np.float64)
+    typed_in = incoming.view(np.float64)
+    if op == "replace":
+        result = typed_in
+    else:
+        assert op == "sum"
+        result = typed_prev + typed_in
+    window[offs] = np.ascontiguousarray(result).view(np.uint8)
+    return window, prev
+
+
+def run_accumulate(make_dtype, count, op="sum", fetch=False, shared=True):
+    dtype = make_dtype().commit()
+    total = dtype.size * count
+    incoming = (np.arange(total // 8, dtype=np.float64) + 1.0).view(np.uint8)
+
+    def program(ctx):
+        comm = ctx.comm
+        win = yield from comm.win_create(WIN_SIZE, shared=shared)
+        if comm.rank == 1:
+            win.local_view()[:] = init_window_bytes()
+        yield from win.fence()
+        fetched = None
+        if comm.rank == 0:
+            fetched = yield from win.accumulate(
+                incoming, target=1, target_disp=DISP, op=op,
+                datatype=DOUBLE, fetch=fetch,
+                target_datatype=dtype, target_count=count,
+            )
+        yield from win.fence()
+        if comm.rank == 1:
+            return win.local_view().tobytes()
+        return fetched.tobytes() if fetched is not None else None
+
+    run = Cluster(n_nodes=2).run(program)
+    expected_window, expected_prev = oracle_accumulate(
+        dtype, count, incoming, op
+    )
+    return run, expected_window, expected_prev
+
+
+class TestNoncontigAccumulate:
+    @pytest.mark.parametrize("make_dtype,count", [
+        (STRIDED, 1), (STRIDED, 5), (NESTED, 1), (NESTED, 4),
+    ])
+    @pytest.mark.parametrize("shared", [True, False])
+    def test_sum_matches_oracle(self, make_dtype, count, shared):
+        run, expected_window, _ = run_accumulate(
+            make_dtype, count, shared=shared
+        )
+        assert run.results[1] == expected_window.tobytes()
+
+    @pytest.mark.parametrize("make_dtype,count", [(STRIDED, 3), (NESTED, 2)])
+    def test_replace_matches_oracle(self, make_dtype, count):
+        run, expected_window, _ = run_accumulate(
+            make_dtype, count, op="replace"
+        )
+        assert run.results[1] == expected_window.tobytes()
+
+    @pytest.mark.parametrize("make_dtype,count", [(STRIDED, 2), (NESTED, 3)])
+    def test_fetch_returns_previous_packed_contents(self, make_dtype, count):
+        run, expected_window, expected_prev = run_accumulate(
+            make_dtype, count, fetch=True
+        )
+        assert run.results[0] == expected_prev.tobytes()
+        assert run.results[1] == expected_window.tobytes()
+
+    def test_fetch_and_op_noncontig_target(self):
+        dtype = STRIDED().commit()
+        count = 2
+        total = dtype.size * count
+        incoming = np.full(total // 8, 2.5, dtype=np.float64).view(np.uint8)
+
+        def program(ctx):
+            comm = ctx.comm
+            win = yield from comm.win_create(WIN_SIZE, shared=True)
+            if comm.rank == 1:
+                win.local_view()[:] = init_window_bytes()
+            yield from win.fence()
+            out = None
+            if comm.rank == 0:
+                out = yield from win.fetch_and_op(
+                    incoming, target=1, target_disp=DISP,
+                    target_datatype=dtype, target_count=count,
+                )
+            yield from win.fence()
+            return out.tobytes() if out is not None else None
+
+        run = Cluster(n_nodes=2).run(program)
+        _, expected_prev = oracle_accumulate(dtype, count, incoming, "sum")
+        assert run.results[0] == expected_prev.tobytes()
+
+    def test_local_rank_accumulate_noncontig(self):
+        """Origin == target: the local branch takes the same plan path."""
+        dtype = NESTED().commit()
+        count = 2
+        total = dtype.size * count
+        incoming = (np.arange(total // 8, dtype=np.float64) - 3.0).view(np.uint8)
+
+        def program(ctx):
+            comm = ctx.comm
+            win = yield from comm.win_create(WIN_SIZE, shared=True)
+            if comm.rank == 0:
+                win.local_view()[:] = init_window_bytes()
+            yield from win.fence()
+            fetched = None
+            if comm.rank == 0:
+                fetched = yield from win.accumulate(
+                    incoming, target=0, target_disp=DISP, fetch=True,
+                    datatype=DOUBLE, target_datatype=dtype,
+                    target_count=count,
+                )
+            yield from win.fence()
+            if comm.rank == 0:
+                return fetched.tobytes(), win.local_view().tobytes()
+            return None
+
+        run = Cluster(n_nodes=2).run(program)
+        expected_window, expected_prev = oracle_accumulate(
+            dtype, count, incoming, "sum"
+        )
+        fetched, window = run.results[0]
+        assert fetched == expected_prev.tobytes()
+        assert window == expected_window.tobytes()
+
+    def test_size_mismatch_rejected(self):
+        dtype = STRIDED().commit()
+
+        def program(ctx):
+            comm = ctx.comm
+            win = yield from comm.win_create(WIN_SIZE, shared=True)
+            yield from win.fence()
+            if comm.rank == 0:
+                with pytest.raises(RMAError):
+                    yield from win.accumulate(
+                        np.zeros(3, dtype=np.float64), target=1,
+                        target_disp=DISP, datatype=DOUBLE,
+                        target_datatype=dtype, target_count=1,
+                    )
+            yield from win.fence()
+            return True
+
+        assert all(Cluster(n_nodes=2).run(program).results)
+
+
+class TestPlanCacheEquivalence:
+    @pytest.mark.parametrize("make_dtype,count", [(STRIDED, 4), (NESTED, 3)])
+    def test_cache_on_off_identical(self, make_dtype, count):
+        """The memoized-plan path and the cache-disabled path produce the
+        same window bytes, the same fetched bytes and the same simulated
+        time (plans only memoize work; they never change results)."""
+        on_run, _, _ = run_accumulate(make_dtype, count, fetch=True)
+        with plan_cache_disabled():
+            off_run, _, _ = run_accumulate(make_dtype, count, fetch=True)
+        assert on_run.results == off_run.results
+        assert on_run.elapsed == pytest.approx(off_run.elapsed)

@@ -4,7 +4,6 @@ import pytest
 
 from repro._units import KiB, MiB, to_mib_s
 from repro.platforms import (
-    PLATFORMS,
     TABLE1,
     CrayT3E,
     LamFastEthernet,

@@ -1,7 +1,6 @@
 """Tests for protocol internals: credits, rendezvous serialization, stress."""
 
 import numpy as np
-import pytest
 
 from repro._units import KiB
 from repro.cluster import Cluster

@@ -1,6 +1,5 @@
 """Property tests for ring/torus routing and the congestion curve."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

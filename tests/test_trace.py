@@ -82,3 +82,62 @@ class TestTracer:
         attach_tracer(traced_cluster)
         traced = traced_cluster.run(program).results
         assert baseline == traced  # tracing is timing-transparent
+
+
+def run_osc_traced(shared=True):
+    import numpy as np
+
+    cluster = Cluster(n_nodes=2)
+    tracer = attach_tracer(cluster)
+
+    def program(ctx):
+        comm = ctx.comm
+        win = yield from comm.win_create(4 * KiB, shared=shared)
+        yield from win.fence()
+        if comm.rank == 0:
+            yield from win.put(np.ones(64, dtype=np.uint8), target=1)
+            yield from win.accumulate(np.ones(8, dtype=np.float64), target=1)
+        yield from win.fence()
+        if comm.rank == 0:
+            yield from win.lock(1)
+            yield from win.get(8 * KiB // 2, target=1)
+            yield from win.unlock(1)
+
+    cluster.run(program)
+    return tracer
+
+
+class TestOSCSpans:
+    OSC_OPS = ("osc.put", "osc.get", "osc.acc", "osc.fence", "osc.lock",
+               "osc.unlock")
+
+    @pytest.mark.parametrize("shared", [True, False])
+    def test_every_begin_has_matching_end(self, shared):
+        tracer = run_osc_traced(shared=shared)
+        for op in self.OSC_OPS:
+            begins = [ev for ev in tracer.events if ev.kind == f"{op}.begin"]
+            ends = [ev for ev in tracer.events if ev.kind == f"{op}.end"]
+            assert len(begins) == len(ends) > 0, op
+            spans = list(tracer.spans(op))
+            assert len(spans) == len(begins), op
+            assert all(s.duration >= 0 for s in spans), op
+
+    def test_span_strategies(self):
+        tracer = run_osc_traced(shared=True)
+        (put,) = tracer.spans("osc.put")
+        assert put.detail["strategy"] == "direct"
+        (get,) = tracer.spans("osc.get")
+        assert get.detail["strategy"] == "remote_put"
+        (acc,) = tracer.spans("osc.acc")
+        assert acc.detail["strategy"] == "emulated"
+        tracer = run_osc_traced(shared=False)
+        (put,) = tracer.spans("osc.put")
+        assert put.detail["strategy"] == "emulated"
+        (get,) = tracer.spans("osc.get")
+        assert get.detail["strategy"] == "emulated"
+
+    def test_fence_spans_on_every_rank(self):
+        tracer = run_osc_traced()
+        fences = list(tracer.spans("osc.fence"))
+        assert {s.rank for s in fences} == {0, 1}
+        assert len(fences) == 4  # two fences per rank
