@@ -30,6 +30,7 @@ paper-vs-measured record of every table and figure.
 from ._units import KiB, MiB, mib_s, to_mib_s
 from .cluster import Cluster, ClusterRun, RankContext
 from .hardware.params import DEFAULT_NODE, NodeParams
+from .hardware.sci.faults import FaultPlan
 from .mpi import ANY_SOURCE, ANY_TAG, Communicator, MPIError, Request, Status
 from .mpi.datatypes import (
     BYTE,
@@ -67,6 +68,7 @@ __all__ = [
     "DOUBLE",
     "Datatype",
     "FLOAT",
+    "FaultPlan",
     "Hindexed",
     "Hvector",
     "INT",

@@ -165,7 +165,37 @@ def main(argv: list[str] | None = None) -> int:
         help=f"which experiments to run: {', '.join(EXPERIMENTS)}, or 'all' "
              "(default: all)",
     )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run only the CI smoke metrics (seconds, deterministic) "
+             "instead of the figure suite",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="with --smoke: also write the metrics as JSON ('-' for stdout)",
+    )
     args = parser.parse_args(argv)
+    if args.json and not args.smoke:
+        parser.error("--json requires --smoke")
+    if args.smoke:
+        if args.experiments:
+            parser.error("--smoke takes no experiment arguments")
+        import json
+
+        from .smoke import run_smoke
+
+        metrics = run_smoke()
+        width = max(len(name) for name in metrics)
+        for name, value in metrics.items():
+            print(f"{name:<{width}}  {value:12.3f}")
+        if args.json:
+            payload = json.dumps(metrics, indent=2) + "\n"
+            if args.json == "-":
+                print(payload, end="")
+            else:
+                with open(args.json, "w") as fh:
+                    fh.write(payload)
+        return 0
     requested = args.experiments or ["all"]
     unknown = [e for e in requested if e != "all" and e not in EXPERIMENTS]
     if unknown:

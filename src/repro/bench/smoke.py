@@ -1,0 +1,83 @@
+"""CI smoke benchmark: a deterministic handful of headline metrics.
+
+The full figure suite takes minutes; CI wants seconds.  :func:`run_smoke`
+measures one representative point per subsystem — pt2pt latency and
+bandwidth, non-contiguous packing (generic vs. direct_pack_ff), sparse
+one-sided puts, and the fault-recovery path — and returns a flat
+``{metric: value}`` dict.  The simulation is a discrete-event model, so
+every value is bit-reproducible; ``tools/bench_compare.py`` diffs a fresh
+run against the committed ``benchmarks/BENCH_baseline.json`` and fails CI
+on regressions beyond its tolerance.
+
+Metric naming carries the comparison direction: ``*_us`` is
+lower-is-better (simulated microseconds), ``*_mibs`` is higher-is-better
+(MiB/s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._units import KiB, MiB, to_mib_s
+from ..cluster import Cluster
+from ..hardware.sci.faults import FaultPlan
+from ..mpi.datatypes import BYTE, Vector
+from ..mpi.pt2pt import NonContigMode
+from .noncontig import measure_point
+from .pingpong import pingpong
+from .sparse import run_sparse
+
+__all__ = ["run_smoke", "SMOKE_METRICS"]
+
+#: Every metric :func:`run_smoke` emits, in emission order.
+SMOKE_METRICS = (
+    "pingpong_8b_us",
+    "pingpong_1mib_mibs",
+    "noncontig_generic_1kib_mibs",
+    "noncontig_direct_1kib_mibs",
+    "sparse_put_64b_mibs",
+    "fault_clean_us",
+    "fault_recovery_us",
+)
+
+
+def _fault_pair() -> tuple[float, float]:
+    """Receiver-observed time (µs) of one ~192 KiB strided send, clean and
+    under a lively seeded fault plan (the recovery-overhead metric)."""
+    dtype = Vector(2048, 64, 96, BYTE)
+    extent = 2048 * 96
+
+    def program(ctx):
+        comm = ctx.comm
+        dtype.commit()
+        buf = ctx.alloc(extent)
+        t0 = ctx.now
+        if comm.rank == 0:
+            buf.read()[:] = np.arange(extent, dtype=np.uint8) % 251
+            yield from comm.send(buf, dest=1, datatype=dtype, count=1)
+            return None
+        yield from comm.recv(buf, source=0, datatype=dtype, count=1)
+        return ctx.now - t0
+
+    clean = Cluster(n_nodes=2).run(program).results[1]
+    plan = FaultPlan(seed=1, transient_rate=0.25, torn_rate=0.25,
+                     stall_rate=0.15, stall_time=3000.0)
+    faulty = Cluster(n_nodes=2, faults=plan).run(program).results[1]
+    return clean, faulty
+
+
+def run_smoke() -> dict[str, float]:
+    """Run every smoke metric; returns ``{name: value}`` (see
+    :data:`SMOKE_METRICS` for the order and naming convention)."""
+    metrics: dict[str, float] = {}
+    metrics["pingpong_8b_us"] = pingpong(8)
+    metrics["pingpong_1mib_mibs"] = to_mib_s(MiB / pingpong(1 * MiB))
+    metrics["noncontig_generic_1kib_mibs"] = measure_point(
+        1 * KiB, mode=NonContigMode.GENERIC)
+    metrics["noncontig_direct_1kib_mibs"] = measure_point(
+        1 * KiB, mode=NonContigMode.DIRECT)
+    metrics["sparse_put_64b_mibs"] = run_sparse(64, op="put", shared=True).bandwidth
+    clean, faulty = _fault_pair()
+    metrics["fault_clean_us"] = clean
+    metrics["fault_recovery_us"] = faulty
+    return metrics

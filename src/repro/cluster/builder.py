@@ -27,6 +27,7 @@ from .._units import MiB
 from ..hardware.node import Node
 from ..hardware.params import DEFAULT_NODE, NodeParams
 from ..hardware.sci.fabric import SCIFabric
+from ..hardware.sci.faults import FaultPlan
 from ..hardware.sci.ringlet import RingTopology, TorusTopology
 from ..mpi.comm import Communicator
 from ..mpi.pt2pt.config import DEFAULT_PROTOCOL, ProtocolConfig
@@ -98,6 +99,7 @@ class Cluster:
         mem_per_node: int = 96 * MiB,
         echo_ratio: float = 0.1,
         policy: Optional["TransferPolicy"] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         if n_nodes < 1 or procs_per_node < 1:
             raise ValueError("need at least one node and one process per node")
@@ -108,6 +110,8 @@ class Cluster:
         self.fabric = SCIFabric(
             self.engine, self.topology, node_params=node_params, echo_ratio=echo_ratio
         )
+        if faults is not None:
+            self.fabric.install_fault_plan(faults)
         # Block rank placement: ranks 0..p-1 on node 0, etc. (the common
         # cluster layout; Table 1's SMPs run several ranks per node).
         rank_to_node = [

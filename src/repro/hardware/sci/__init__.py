@@ -15,6 +15,13 @@ Layers, bottom-up:
 """
 
 from .fabric import SCIConnectionError, SCIFabric
+from .faults import (
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    SCITransientError,
+    TornTransferError,
+)
 from .flows import Flow, FlowNetwork
 from .ringlet import RingTopology, Route, TorusTopology
 from .segments import (
@@ -22,6 +29,7 @@ from .segments import (
     SCISegment,
     SegmentDirectory,
     SegmentError,
+    SegmentUnmappedError,
     gather_run,
     scatter_run,
 )
@@ -39,6 +47,9 @@ from .transactions import (
 
 __all__ = [
     "AccessRun",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
     "Flow",
     "FlowNetwork",
     "ImportedSegment",
@@ -47,8 +58,11 @@ __all__ = [
     "SCIConnectionError",
     "SCIFabric",
     "SCISegment",
+    "SCITransientError",
     "SegmentDirectory",
     "SegmentError",
+    "SegmentUnmappedError",
+    "TornTransferError",
     "TorusTopology",
     "TxnSummary",
     "WriteCost",

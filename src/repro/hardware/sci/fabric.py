@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional, Union
 
 from ..params import DEFAULT_NODE, NodeParams
+from .faults import FaultKind, FaultPlan, SCITransientError, TornTransferError
 from .flows import FlowNetwork
 from .ringlet import RingTopology, Route, TorusTopology
 from .transactions import (
@@ -69,6 +70,10 @@ class SCIFabric:
         self._error_rate = 0.0
         self._error_penalty = 0.35
         self._error_rng = None
+        #: Detectable-fault injection (lost/torn transfers, unmaps,
+        #: stalls) — None means a clean fabric.  See
+        #: :class:`~repro.hardware.sci.faults.FaultPlan`.
+        self.fault_plan: Optional[FaultPlan] = None
         #: Perf counters (transfers and bytes by kind), for tests/reports.
         self.counters: dict[str, int] = {
             "pio_writes": 0,
@@ -77,6 +82,7 @@ class SCIFabric:
             "barriers": 0,
             "interrupts": 0,
             "retries": 0,
+            "faults": 0,
             "bytes_written": 0,
             "bytes_read": 0,
         }
@@ -117,6 +123,42 @@ class SCIFabric:
             self.counters["retries"] += 1
             return 1.0 + self._error_penalty
         return 1.0
+
+    def install_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Attach (or clear) the deterministic fault-injection plan.
+
+        Unlike :meth:`set_error_rate` (transparent hardware retries —
+        slower, never lost), an installed plan injects *detectable*
+        faults: lost and torn transfers, segment unmaps and node stalls,
+        which the transport layer must actively recover from.
+        """
+        self.fault_plan = plan
+
+    def _draw_fault(self, src: int, dst: int, nbytes: int,
+                    tearable: bool = False):
+        if self.fault_plan is None:
+            return None
+        return self.fault_plan.draw_transfer(src, dst, nbytes, tearable)
+
+    def _abort_transfer(self, src: int, route: Route, nbytes: int,
+                        duration: float, fault: tuple[str, int]):
+        """Charge the failed attempt's wire time, then raise the fault.
+
+        Torn transfers charge only the delivered prefix; lost transfers
+        went all the way out before the CRC check condemned them, so they
+        charge the full attempt.
+        """
+        kind, delivered = fault
+        params = self.params_for(src)
+        charged = delivered if delivered else nbytes
+        yield self.engine.timeout(route.hops * params.link.hop_latency)
+        yield self.network.transfer(route, charged, nbytes / duration)
+        self.counters["faults"] += 1
+        if kind == FaultKind.TORN:
+            raise TornTransferError(delivered, nbytes)
+        raise SCITransientError(
+            f"transfer of {nbytes} B from node {src} lost (injected {kind} fault)"
+        )
 
     def fail_node(self, node: int) -> None:
         self._failed_nodes.add(node)
@@ -178,6 +220,9 @@ class SCIFabric:
         nbytes = run.total_bytes
         if nbytes == 0:
             return cost
+        fault = self._draw_fault(src, dst, nbytes)
+        if fault is not None:
+            yield from self._abort_transfer(src, route, nbytes, duration, fault)
         # Propagation to the target, then stream at the modelled rate
         # (shared with concurrent flows by the network).
         yield self.engine.timeout(route.hops * params.link.hop_latency)
@@ -201,6 +246,9 @@ class SCIFabric:
             + 2 * max(0, route.hops - 1) * params.link.hop_latency
         )
         duration = txns * per_txn + params.adapter.pio_op_overhead
+        fault = self._draw_fault(src, dst, nbytes)
+        if fault is not None:
+            yield from self._abort_transfer(src, route, nbytes, duration, fault)
         yield self.network.transfer(route, nbytes, nbytes / duration)
         self.counters["pio_reads"] += 1
         self.counters["bytes_read"] += nbytes
@@ -215,19 +263,28 @@ class SCIFabric:
         duration = dma_cost(nbytes, params) * self._retry_factor()
         if nbytes == 0:
             return 0.0
+        fault = self._draw_fault(src, dst, nbytes)
+        if fault is not None:
+            yield from self._abort_transfer(src, route, nbytes, duration, fault)
         yield self.engine.timeout(route.hops * params.link.hop_latency)
         yield self.network.transfer(route, nbytes, nbytes / duration)
         self.counters["dma_transfers"] += 1
         self.counters["bytes_written"] += nbytes
         return duration
 
-    def transfer_raw(self, src: int, dst: int, nbytes: int, duration: float):
+    def transfer_raw(self, src: int, dst: int, nbytes: int, duration: float,
+                     tearable: bool = False):
         """Ship ``nbytes`` with a caller-computed unshared duration.
 
         Protocol layers that combine several cost components (e.g. the
         direct_pack_ff feed loop + transaction formation) compute the
         stand-alone duration themselves and use this to still share ring
         bandwidth with concurrent flows.
+
+        ``tearable=True`` declares that the caller can resume the stream
+        at an arbitrary byte offset (the packed chunk path), allowing an
+        installed fault plan to tear the transfer instead of losing it
+        whole.
         """
         if src == dst:
             raise ValueError("transfer_raw is for remote targets")
@@ -238,6 +295,9 @@ class SCIFabric:
         if nbytes == 0:
             return
         duration *= self._retry_factor()
+        fault = self._draw_fault(src, dst, nbytes, tearable=tearable)
+        if fault is not None:
+            yield from self._abort_transfer(src, route, nbytes, duration, fault)
         yield self.engine.timeout(route.hops * params.link.hop_latency)
         yield self.network.transfer(route, nbytes, nbytes / duration)
         self.counters["pio_writes"] += 1

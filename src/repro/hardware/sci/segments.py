@@ -36,6 +36,7 @@ __all__ = [
     "ImportedSegment",
     "SegmentDirectory",
     "SegmentError",
+    "SegmentUnmappedError",
     "scatter_run",
     "gather_run",
 ]
@@ -43,6 +44,12 @@ __all__ = [
 
 class SegmentError(RuntimeError):
     """Segment management error (bad export/import/bounds)."""
+
+
+class SegmentUnmappedError(SegmentError):
+    """An access went through a mapping whose segment was revoked
+    (driver teardown, peer restart — the fault plan's *unmap* event).
+    Recoverable by importing the segment afresh."""
 
 
 def _run_view(mem: np.ndarray, run: AccessRun) -> np.ndarray:
@@ -90,6 +97,13 @@ class SCISegment:
         self.seg_id = seg_id
         self.node = node
         self.buffer = buffer
+        #: Revocation epoch: bumped every time the export is torn down
+        #: and re-established; imports taken before a bump are stale.
+        self.revoked = 0
+
+    def revoke(self) -> None:
+        """Invalidate every existing import (fault injection / teardown)."""
+        self.revoked += 1
 
     @property
     def nbytes(self) -> int:
@@ -111,10 +125,36 @@ class ImportedSegment:
         self.origin = origin
         self.segment = segment
         self.is_local = origin.node_id == segment.node.node_id
+        #: Revocation epoch at import time; a later revoke makes us stale.
+        self.epoch = segment.revoked
 
     @property
     def nbytes(self) -> int:
         return self.segment.nbytes
+
+    @property
+    def mapped(self) -> bool:
+        """Is this mapping still valid (segment not revoked since import)?"""
+        return self.is_local or self.segment.revoked <= self.epoch
+
+    def ensure_mapped(self) -> None:
+        """Consult the fault plan, then validate the mapping.
+
+        Remote accesses go through here: an installed
+        :class:`~repro.hardware.sci.faults.FaultPlan` may revoke the
+        segment at this very access (the *unmap* event), and a stale
+        mapping raises :class:`SegmentUnmappedError` either way.
+        """
+        if self.is_local:
+            return
+        plan = self.fabric.fault_plan
+        if plan is not None and plan.draw_unmap(self.segment):
+            self.segment.revoke()
+        if not self.mapped:
+            raise SegmentUnmappedError(
+                f"segment {self.segment.seg_id} was revoked "
+                f"(import epoch {self.epoch} < {self.segment.revoked})"
+            )
 
     def _check_run(self, run: AccessRun) -> None:
         if run.count and run.size:
@@ -168,6 +208,7 @@ class ImportedSegment:
                 self.fabric.engine, run.total_bytes, duration
             )
         else:
+            self.ensure_mapped()
             yield from self.fabric.pio_write(
                 self.origin.node_id,
                 self.segment.node.node_id,
@@ -195,6 +236,7 @@ class ImportedSegment:
             if run.total_bytes:
                 yield self.fabric.engine.timeout(cost.duration)
         else:
+            self.ensure_mapped()
             yield from self.fabric.pio_read(
                 self.origin.node_id, self.segment.node.node_id, run
             )
@@ -216,6 +258,7 @@ class ImportedSegment:
             cost = self.origin.memory.copy_cost(data.nbytes)
             yield self.fabric.engine.timeout(cost.duration)
         else:
+            self.ensure_mapped()
             yield from self.fabric.dma_transfer(
                 self.origin.node_id, self.segment.node.node_id, data.nbytes
             )

@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
-__all__ = ["MPIError", "MessageTruncated", "CommunicationError", "RMAError"]
+__all__ = [
+    "MPIError",
+    "MessageTruncated",
+    "CommunicationError",
+    "RMAError",
+    "TransferFault",
+    "TransferAborted",
+]
 
 
 class MPIError(RuntimeError):
@@ -16,6 +23,26 @@ class MessageTruncated(MPIError):
 
 class CommunicationError(MPIError):
     """A transfer failed at the interconnect level (node/link failure)."""
+
+
+class TransferFault(CommunicationError):
+    """A single transfer attempt failed recoverably.
+
+    ``delivered`` is how many payload bytes of the attempt arrived intact
+    (nonzero for torn transfers — the resume point); ``unmapped`` is set
+    when the failure was a revoked segment mapping rather than a lost
+    transfer (recover by remapping or falling back to emulation).
+    """
+
+    def __init__(self, msg: str, delivered: int = 0, unmapped: bool = False):
+        super().__init__(msg)
+        self.delivered = delivered
+        self.unmapped = unmapped
+
+
+class TransferAborted(CommunicationError):
+    """Recovery gave up: the bounded retransmission budget
+    (``RecoveryPolicy.max_retransmits``) was exhausted."""
 
 
 class RMAError(MPIError):

@@ -40,7 +40,7 @@ from ...sim import Channel, Event
 from ...smi import SMIBarrier, SMILock
 from ..coll.collectives import OPS
 from ..datatypes.base import Datatype
-from ..errors import RMAError
+from ..errors import RMAError, TransferFault
 from ..flatten import get_plan
 from ..pt2pt.costs import pack_cost_direct
 from ..transport import OSCStrategy, resolve_target_run
@@ -226,6 +226,10 @@ class Win:
         self._dirty_targets: set[int] = set()
         #: Outstanding emulated-operation acknowledgements.
         self._pending_acks: list[Event] = []
+        #: World ranks whose window segment became unmappable mid-epoch:
+        #: direct access is permanently degraded to the emulated path for
+        #: them (the :meth:`TransferPolicy.degraded_strategy` decision).
+        self._degraded: set[int] = set()
         self.counters = {
             "direct_puts": 0,
             "direct_gets": 0,
@@ -317,20 +321,46 @@ class Win:
             return
 
         strategy = self.policy.put_strategy(part.shared, run is not None)
+        if strategy == OSCStrategy.DIRECT and wtarget in self._degraded:
+            strategy = self.policy.degraded_strategy(strategy)
         if strategy == OSCStrategy.DIRECT:
-            # Direct path: transparent remote stores.
-            yield from self.store.write_run(
-                part.region, run, payload,
-                src_cached=self.policy.src_cached(n, self.device.node),
-            )
-            self._dirty_targets.add(wtarget)
-            self.counters["direct_puts"] += 1
+            # Direct path: transparent remote stores (retransmitted on
+            # injected transient faults).
+            def attempt():
+                yield from self.store.write_run(
+                    part.region, run, payload,
+                    src_cached=self.policy.src_cached(n, self.device.node),
+                )
+
+            try:
+                yield from self.store.deliver_with_retry(wtarget, attempt)
+            except TransferFault as fault:
+                if not fault.unmapped:
+                    raise
+                # Window segment revoked mid-epoch: degrade this target to
+                # emulation (sticky) and redo the operation that way.
+                strategy = self._degrade(wtarget)
+                self.device._trace("recover.fallback.begin", peer=wtarget,
+                                   action="emulate")
+                yield from self._emulated_put(part, payload, wtarget,
+                                              target_disp, target_datatype,
+                                              target_count, run)
+                self.device._trace("recover.fallback.end", peer=wtarget)
+            else:
+                self._dirty_targets.add(wtarget)
+                self.counters["direct_puts"] += 1
         else:
             # Emulation (private window memory, or a target layout too
             # complex for a single strided store run).
             yield from self._emulated_put(part, payload, wtarget, target_disp,
                                           target_datatype, target_count, run)
         self.device._trace("osc.put.end", target=wtarget, strategy=strategy)
+
+    def _degrade(self, wtarget: int) -> str:
+        """Record the fallback decision for an unmappable target segment."""
+        self._degraded.add(wtarget)
+        self.device.recovery["fallbacks"] += 1
+        return self.policy.degraded_strategy(OSCStrategy.DIRECT)
 
     def _emulated_put(self, part, payload, wtarget, target_disp,
                       target_datatype, target_count, run):
@@ -377,10 +407,29 @@ class Win:
             return data
 
         strategy = self.policy.get_strategy(nbytes, part.shared, run is not None)
+        if strategy != OSCStrategy.EMULATED and wtarget in self._degraded:
+            strategy = self.policy.degraded_strategy(strategy)
         if strategy == OSCStrategy.DIRECT:
-            # Small direct read: transparent remote loads (CPU stalls).
-            data = yield from self.store.read_run(part.region, run)
-            self.counters["direct_gets"] += 1
+            # Small direct read: transparent remote loads (CPU stalls),
+            # retransmitted on injected transient faults.
+            def attempt():
+                fetched = yield from self.store.read_run(part.region, run)
+                return fetched
+
+            try:
+                data = yield from self.store.deliver_with_retry(wtarget, attempt)
+            except TransferFault as fault:
+                if not fault.unmapped:
+                    raise
+                strategy = self._degrade(wtarget)
+                self.device._trace("recover.fallback.begin", peer=wtarget,
+                                   action="emulate")
+                data = yield from self._emulated_get(part, nbytes, wtarget,
+                                                     target_disp)
+                self.device._trace("recover.fallback.end", peer=wtarget)
+                self.counters["emulated_gets"] += 1
+            else:
+                self.counters["direct_gets"] += 1
         else:
             # Remote-put conversion (shared, large) or full emulation
             # (private): the target pushes into our response region.

@@ -116,6 +116,11 @@ class RankDevice:
         self.tracer = None
         #: Perf counters.
         self.counters = {"sends": 0, "recvs": 0, "short": 0, "eager": 0, "rndv": 0}
+        #: Recovery counters (nonzero only under an installed fault plan;
+        #: see docs/FAULTS.md): chunk retransmits, torn-stream resumes,
+        #: credit timeouts, segment remaps, strategy fallbacks, give-ups.
+        self.recovery = {"retries": 0, "resumes": 0, "timeouts": 0,
+                         "remaps": 0, "fallbacks": 0, "aborts": 0}
         #: The chunked data path (owns the RemoteStore and chunk stats).
         self.scheduler = TransferScheduler(self)
         self.store = self.scheduler.store

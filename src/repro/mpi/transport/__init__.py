@@ -26,9 +26,11 @@ every payload byte they move goes through this package.
 from .layout import resolve_target_run
 from .policy import (
     DEFAULT_POLICY,
+    DEFAULT_RECOVERY,
     ChunkedCollectivesPolicy,
     OSCStrategy,
     Protocol,
+    RecoveryPolicy,
     TransferMode,
     TransferPolicy,
 )
@@ -40,8 +42,10 @@ __all__ = [
     "ChunkReady",
     "ChunkedCollectivesPolicy",
     "DEFAULT_POLICY",
+    "DEFAULT_RECOVERY",
     "OSCStrategy",
     "Protocol",
+    "RecoveryPolicy",
     "RemoteStore",
     "RndvAck",
     "TransferMode",

@@ -29,8 +29,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "ChunkedCollectivesPolicy",
     "DEFAULT_POLICY",
+    "DEFAULT_RECOVERY",
     "OSCStrategy",
     "Protocol",
+    "RecoveryPolicy",
     "TransferMode",
     "TransferPolicy",
 ]
@@ -62,6 +64,33 @@ class OSCStrategy:
 
 
 @dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs of the fault-recovery state machine (see ``docs/FAULTS.md``).
+
+    All times are simulated µs.  ``max_retransmits`` bounds the retries
+    of one chunk/operation; together with
+    :attr:`~repro.hardware.sci.faults.FaultPlan.max_consecutive` it
+    guarantees convergence.  ``resume_torn=False`` disables the
+    range-resume optimisation (torn chunks retransmit whole) — the knob
+    the recovery-overhead ablation flips.
+    """
+
+    max_retransmits: int = 6
+    retry_backoff: float = 5.0       # first-retry delay
+    backoff_factor: float = 2.0      # exponential growth per retry
+    chunk_timeout: float = 2000.0    # rndv per-chunk credit timeout
+    remap_cost: float = 25.0         # driver cost of re-importing a segment
+    resume_torn: bool = True         # resume torn chunks at the tear offset
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based)."""
+        return self.retry_backoff * self.backoff_factor ** (attempt - 1)
+
+
+DEFAULT_RECOVERY = RecoveryPolicy()
+
+
+@dataclass(frozen=True)
 class TransferPolicy:
     """The decision table of the unified transport layer.
 
@@ -70,6 +99,7 @@ class TransferPolicy:
     """
 
     config: ProtocolConfig = DEFAULT_PROTOCOL
+    recovery: RecoveryPolicy = DEFAULT_RECOVERY
 
     def bind(self, config: ProtocolConfig) -> "TransferPolicy":
         """This policy rebound to another protocol config (keeps subclass)."""
@@ -138,6 +168,17 @@ class TransferPolicy:
             return OSCStrategy.DIRECT
         if shared:
             return OSCStrategy.REMOTE_PUT
+        return OSCStrategy.EMULATED
+
+    def degraded_strategy(self, strategy: str) -> str:
+        """Fallback strategy once a target segment became unmappable.
+
+        Direct stores/loads and remote-put all need a valid mapping of
+        the peer's window; when the mapping is revoked mid-epoch the only
+        path that still works is emulation (control message + interrupt +
+        target-side handler), which maps nothing remotely.
+        """
+        del strategy  # every degraded path lands on emulation
         return OSCStrategy.EMULATED
 
     # -- collectives ---------------------------------------------------------------

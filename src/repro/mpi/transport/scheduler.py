@@ -34,7 +34,7 @@ from typing import TYPE_CHECKING, Any, Optional
 import numpy as np
 
 from ...sim import Channel
-from ..errors import MessageTruncated
+from ..errors import MessageTruncated, TransferAborted, TransferFault
 from ..pt2pt.costs import (
     local_chunk_copy_cost,
     pack_cost_direct,
@@ -114,15 +114,137 @@ class TransferScheduler:
 
     def _write_chunk(self, dst: int, region, offset: int, data: np.ndarray,
                      mode: str, groups: list[tuple[int, int]],
-                     src_cached: bool):
-        engine = self.device.engine
+                     src_cached: bool, plan: Optional["PackPlan"] = None,
+                     stream_off: int = 0):
+        """Deliver one packet-buffer chunk, recovering from injected faults.
+
+        On a clean fabric this is a single :meth:`RemoteStore.write_packed`
+        plus accounting.  Under a fault plan it is the chunk-level recovery
+        state machine: transient losses retransmit the chunk (bounded, with
+        exponential backoff); torn transfers *resume* at the delivered byte
+        — re-deriving the damaged tail's cost groups from the packing
+        plan's range lookup (``plan``/``stream_off`` locate this chunk in
+        the packed stream) — and a revoked packet-buffer mapping is
+        re-imported for ``RecoveryPolicy.remap_cost``.
+        """
+        device = self.device
+        engine = device.engine
+        recovery = device.policy.recovery
         t0 = engine.now
-        yield from self.store.write_packed(
-            dst, region, offset, data, mode, groups, src_cached
-        )
+        n = data.nbytes
+        pos = 0          # delivered bytes of this chunk
+        attempt = 0
+        while True:
+            if pos == 0:
+                part, part_groups = data, groups
+            elif plan is not None and mode == TransferMode.DIRECT:
+                part = data[pos:]
+                part_groups = plan.groups_in_range(stream_off + pos, n - pos)
+            else:
+                part = data[pos:]
+                part_groups = [(n - pos, 1)]
+            try:
+                yield from self.store.write_packed(
+                    dst, region, offset + pos, part, mode, part_groups,
+                    src_cached,
+                )
+            except TransferFault as fault:
+                attempt += 1
+                if attempt > recovery.max_retransmits:
+                    device.recovery["aborts"] += 1
+                    raise TransferAborted(
+                        f"chunk to rank {dst} still failing after "
+                        f"{recovery.max_retransmits} retransmissions"
+                    ) from fault
+                if fault.unmapped:
+                    # Fresh mapping of the peer's packet buffer (the pt2pt
+                    # degradation path: remap, then carry on).
+                    device.recovery["remaps"] += 1
+                    device._trace("recover.fallback.begin", peer=dst,
+                                  action="remap")
+                    region.remap(device.rank)
+                    yield engine.timeout(recovery.remap_cost)
+                    device._trace("recover.fallback.end", peer=dst)
+                    continue
+                if fault.delivered and recovery.resume_torn:
+                    # Torn mid-stream: the prefix landed; resume the
+                    # remaining byte range instead of the whole chunk.
+                    # Round the resume point *down* to the adapter's
+                    # stream window: a tail starting mid-store-unit
+                    # defeats write-combining for every store in it
+                    # (each becomes its own PCI/SCI transaction), which
+                    # costs far more than re-sending <64 intact bytes.
+                    stream = device.node.params.adapter.stream_txn_size
+                    delivered = pos + fault.delivered
+                    pos = max(delivered - (offset + delivered) % stream, 0)
+                    device.recovery["resumes"] += 1
+                    device._trace("recover.resume.begin", peer=dst,
+                                  delivered=pos, nbytes=n)
+                    yield engine.timeout(recovery.backoff(attempt))
+                    device._trace("recover.resume.end", peer=dst)
+                    continue
+                device.recovery["retries"] += 1
+                device._trace("recover.retry.begin", peer=dst,
+                              attempt=attempt)
+                yield engine.timeout(recovery.backoff(attempt))
+                device._trace("recover.retry.end", peer=dst)
+                continue
+            break
         self.stats["chunks"] += 1
-        self.stats["chunk_bytes"] += data.nbytes
+        self.stats["chunk_bytes"] += n
         self.stats["chunk_time"] += engine.now - t0
+
+    # -- credit waits with timeout ------------------------------------------------------
+
+    def _await_credit(self, reply: Channel, dest: int):
+        """Wait for the receiver's :class:`ChunkCredit`.
+
+        On a clean fabric this is a plain channel get.  Under a fault plan
+        the wait races a per-chunk timeout (``RecoveryPolicy.chunk_timeout``
+        with exponential backoff): a stalled receiver trips the timeout,
+        the sender probes the connection (the paper's Sec. 2 "connection
+        monitoring") and keeps waiting — control packets and credits are
+        never lost, only late, so re-waiting on the *same* pending get
+        keeps credit accounting exact.  Gives up after
+        ``max_retransmits`` consecutive timeouts.
+        """
+        device = self.device
+        if device.world.smi.fabric.fault_plan is None:
+            credit = yield reply.get()
+            assert isinstance(credit, ChunkCredit)
+            return credit
+        engine = device.engine
+        recovery = device.policy.recovery
+        get_ev = reply.get()
+        timeout = recovery.chunk_timeout
+        yield engine.any_of([get_ev, engine.timeout(timeout)])
+        attempt = 0
+        while not get_ev.processed:
+            attempt += 1
+            if attempt > recovery.max_retransmits:
+                device.recovery["aborts"] += 1
+                raise TransferAborted(
+                    f"no chunk credit from rank {dest} after "
+                    f"{attempt - 1} timeout extensions"
+                )
+            device.recovery["timeouts"] += 1
+            src_node = device.node.node_id
+            dst_node = device.smi.node_of(dest).node_id
+            if src_node != dst_node and not device.world.smi.fabric.ping(
+                src_node, dst_node
+            ):
+                device.recovery["aborts"] += 1
+                raise TransferAborted(
+                    f"rank {dest} unreachable while awaiting chunk credit"
+                )
+            timeout *= recovery.backoff_factor
+            device._trace("recover.retry.begin", peer=dest,
+                          cause="credit-timeout", attempt=attempt)
+            yield engine.any_of([get_ev, engine.timeout(timeout)])
+            device._trace("recover.retry.end", peer=dest)
+        credit = get_ev.value
+        assert isinstance(credit, ChunkCredit)
+        return credit
 
     # -- send protocols ---------------------------------------------------------------
 
@@ -161,7 +283,8 @@ class TransferScheduler:
         data = plan.execute_pack(mem, base, seg_off, total)
         groups = self.chunk_groups(mode, plan, seg_off, total)
         yield from self._write_chunk(
-            dest, peer_region, slot_offset, data, mode, groups, src_cached
+            dest, peer_region, slot_offset, data, mode, groups, src_cached,
+            plan=plan, stream_off=seg_off,
         )
         yield from device.send_ctrl(
             dest, EagerMsg(env, slot_offset, data.nbytes, slot_index=slot,
@@ -215,20 +338,19 @@ class TransferScheduler:
                 groups = plan.groups_in_range(seg_off + pos, n)
                 chunk_mode = mode
             yield from self._write_chunk(
-                dest, ack.region, 0, data, chunk_mode, groups, src_cached
+                dest, ack.region, 0, data, chunk_mode, groups, src_cached,
+                plan=plan, stream_off=seg_off + pos,
             )
             last = pos + n >= total
             yield from device.send_ctrl(
                 dest, ChunkReady(index, n, last), to_channel=ack.chunk_channel
             )
             if not last:
-                credit = yield reply.get()
-                assert isinstance(credit, ChunkCredit)
+                yield from self._await_credit(reply, dest)
             pos += n
             index += 1
         # Final credit confirms the receiver drained the last chunk.
-        final = yield reply.get()
-        assert isinstance(final, ChunkCredit)
+        yield from self._await_credit(reply, dest)
 
     # -- receive protocols -------------------------------------------------------------
 
@@ -304,9 +426,17 @@ class TransferScheduler:
                 if mode == TransferMode.GENERIC
                 else None
             )
+            fault_plan = device.world.smi.fabric.fault_plan
             pos = 0
             while pos < total:
                 ready: ChunkReady = yield chunk_channel.get()
+                if fault_plan is not None:
+                    # Injected node stall: this rank's receive path is
+                    # descheduled — unpacking and the credit run late,
+                    # exercising the sender's per-chunk timeout.
+                    stall = fault_plan.draw_stall(device.node.node_id)
+                    if stall:
+                        yield device.engine.timeout(stall)
                 n = ready.nbytes
                 data = np.array(device.rndv_region.local_view()[:n], copy=True)
                 if packed_tmp is not None:

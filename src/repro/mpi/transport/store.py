@@ -19,7 +19,10 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from ...hardware.sci.faults import SCITransientError, TornTransferError
+from ...hardware.sci.segments import SegmentUnmappedError
 from ...hardware.sci.transactions import AccessRun
+from ..errors import TransferAborted, TransferFault
 from ..pt2pt.costs import (
     contiguous_remote_chunk_duration,
     direct_remote_chunk_duration,
@@ -41,6 +44,50 @@ class RemoteStore:
     def __init__(self, device: "RankDevice"):
         self.device = device
 
+    # -- recovery (the bounded-retransmission state machine) -----------------------
+
+    def deliver_with_retry(self, peer: int, make_attempt, on_unmap=None):
+        """Run ``make_attempt()`` (a fresh DES generator per call) until it
+        succeeds, with bounded exponential-backoff retransmission.
+
+        Attempts signal recoverable failures by raising
+        :class:`~repro.mpi.errors.TransferFault`; ``on_unmap()`` (if given)
+        repairs a revoked segment mapping between attempts.  Gives up with
+        :class:`~repro.mpi.errors.TransferAborted` after
+        ``RecoveryPolicy.max_retransmits`` failed retries.
+        """
+        device = self.device
+        recovery = device.policy.recovery
+        attempt = 0
+        while True:
+            try:
+                result = yield from make_attempt()
+            except TransferFault as fault:
+                attempt += 1
+                if attempt > recovery.max_retransmits:
+                    device.recovery["aborts"] += 1
+                    raise TransferAborted(
+                        f"transfer to rank {peer} still failing after "
+                        f"{recovery.max_retransmits} retransmissions"
+                    ) from fault
+                if fault.unmapped:
+                    if on_unmap is None:
+                        raise
+                    device.recovery["remaps"] += 1
+                    device._trace("recover.fallback.begin", peer=peer,
+                                  action="remap")
+                    on_unmap()
+                    yield device.engine.timeout(recovery.remap_cost)
+                    device._trace("recover.fallback.end", peer=peer)
+                    continue
+                device.recovery["retries"] += 1
+                device._trace("recover.retry.begin", peer=peer,
+                              attempt=attempt)
+                yield device.engine.timeout(recovery.backoff(attempt))
+                device._trace("recover.retry.end", peer=peer)
+                continue
+            return result
+
     # -- packet-buffer writes (pt2pt) ----------------------------------------------
 
     def write_packed(self, dst: int, region: "SharedRegion", offset: int,
@@ -51,6 +98,12 @@ class RemoteStore:
         Remote: transparent PIO stores (or the DMA engine), costed by the
         transfer technique.  Local: the pack loop / protocol copy *is* the
         delivery.
+
+        Injected fabric faults surface as
+        :class:`~repro.mpi.errors.TransferFault`; a torn transfer places
+        its intact prefix in the packet buffer first (the receiver never
+        sees it — no control packet was posted yet), so the caller can
+        resume at byte ``fault.delivered``.
         """
         device = self.device
         n = data.nbytes
@@ -58,24 +111,36 @@ class RemoteStore:
         memory = device.node.memory
         cfg = device.config
         if remote:
+            try:
+                region.handle(device.rank).ensure_mapped()
+            except SegmentUnmappedError as exc:
+                raise TransferFault(str(exc), unmapped=True) from exc
             params = device.node.params
-            if mode == TransferMode.DMA:
-                yield from device.world.smi.fabric.dma_transfer(
-                    device.node.node_id, device.smi.node_of(dst).node_id, n
-                )
-            else:
-                if mode == TransferMode.DIRECT:
-                    duration = direct_remote_chunk_duration(
-                        params, memory, offset, groups, cfg, src_cached
+            try:
+                if mode == TransferMode.DMA:
+                    yield from device.world.smi.fabric.dma_transfer(
+                        device.node.node_id, device.smi.node_of(dst).node_id, n
                     )
                 else:
-                    duration = contiguous_remote_chunk_duration(
-                        params, offset, n, src_cached
+                    if mode == TransferMode.DIRECT:
+                        duration = direct_remote_chunk_duration(
+                            params, memory, offset, groups, cfg, src_cached
+                        )
+                    else:
+                        duration = contiguous_remote_chunk_duration(
+                            params, offset, n, src_cached
+                        )
+                    yield from device.world.smi.fabric.transfer_raw(
+                        device.node.node_id, device.smi.node_of(dst).node_id,
+                        n, duration, tearable=True,
                     )
-                yield from device.world.smi.fabric.transfer_raw(
-                    device.node.node_id, device.smi.node_of(dst).node_id, n,
-                    duration,
-                )
+            except TornTransferError as exc:
+                delivered = exc.delivered
+                view = region.local_view()
+                view[offset : offset + delivered] = data[:delivered]
+                raise TransferFault(str(exc), delivered=delivered) from exc
+            except SCITransientError as exc:
+                raise TransferFault(str(exc)) from exc
         else:
             if mode == TransferMode.DIRECT:
                 yield device.engine.timeout(pack_cost_direct(memory, groups, cfg))
@@ -87,14 +152,29 @@ class RemoteStore:
 
     def write_run(self, region: "SharedRegion", run: AccessRun,
                   data: np.ndarray, src_cached: bool):
-        """Direct put: transparent remote stores along a strided run."""
+        """Direct put: transparent remote stores along a strided run.
+
+        Injected faults surface as :class:`TransferFault` — with
+        ``unmapped=True`` when the window segment was revoked (the OSC
+        layer then degrades to emulation).
+        """
         handle = region.handle(self.device.rank)
-        yield from handle.write(data, run, src_cached=src_cached)
+        try:
+            yield from handle.write(data, run, src_cached=src_cached)
+        except SegmentUnmappedError as exc:
+            raise TransferFault(str(exc), unmapped=True) from exc
+        except (SCITransientError, TornTransferError) as exc:
+            raise TransferFault(str(exc)) from exc
 
     def read_run(self, region: "SharedRegion", run: AccessRun):
         """Direct get: transparent remote loads (the CPU stalls per txn)."""
         handle = region.handle(self.device.rank)
-        data = yield from handle.read(run)
+        try:
+            data = yield from handle.read(run)
+        except SegmentUnmappedError as exc:
+            raise TransferFault(str(exc), unmapped=True) from exc
+        except (SCITransientError, TornTransferError) as exc:
+            raise TransferFault(str(exc)) from exc
         return data
 
     def store_barrier(self, region: "SharedRegion"):
@@ -118,10 +198,18 @@ class RemoteStore:
             duration = contiguous_remote_chunk_duration(
                 device.node.params, dst_offset, nbytes, src_cached
             )
-            yield from device.world.smi.fabric.transfer_raw(
-                device.node.node_id, device.smi.node_of(wtarget).node_id,
-                nbytes, duration,
-            )
+
+            def attempt():
+                try:
+                    yield from device.world.smi.fabric.transfer_raw(
+                        device.node.node_id,
+                        device.smi.node_of(wtarget).node_id,
+                        nbytes, duration,
+                    )
+                except SCITransientError as exc:
+                    raise TransferFault(str(exc)) from exc
+
+            yield from self.deliver_with_retry(wtarget, attempt)
             yield from device.world.smi.fabric.post_interrupt(
                 device.node.node_id, device.smi.node_of(wtarget).node_id
             )
@@ -152,8 +240,18 @@ class RemoteStore:
             yield device.engine.timeout(device.node.memory.copy_cost(n).duration)
             response.local_view()[offset : offset + n] = data
         else:
-            handle = response.handle(device.rank)
-            yield from handle.write(
-                data, AccessRun.contiguous(offset, n), src_cached=False
+            def attempt():
+                handle = response.handle(device.rank)
+                try:
+                    yield from handle.write(
+                        data, AccessRun.contiguous(offset, n), src_cached=False
+                    )
+                    yield from handle.barrier()
+                except SegmentUnmappedError as exc:
+                    raise TransferFault(str(exc), unmapped=True) from exc
+                except (SCITransientError, TornTransferError) as exc:
+                    raise TransferFault(str(exc)) from exc
+
+            yield from self.deliver_with_retry(
+                origin, attempt, on_unmap=lambda: response.remap(device.rank)
             )
-            yield from handle.barrier()

@@ -106,6 +106,16 @@ class SharedRegion:
             self._handles[rank] = RegionHandle(self, rank, imported)
         return self._handles[rank]
 
+    def remap(self, rank: int) -> "RegionHandle":
+        """Re-import the region for ``rank`` after a segment revocation.
+
+        Drops the cached (stale) handle and imports the segment afresh,
+        picking up the current revocation epoch — the recovery action for
+        :class:`~repro.hardware.sci.segments.SegmentUnmappedError`.
+        """
+        self._handles.pop(rank, None)
+        return self.handle(rank)
+
     def __repr__(self) -> str:
         return (
             f"<SharedRegion {self.label!r} owner=rank{self.owner_rank} "
@@ -133,6 +143,15 @@ class RegionHandle:
     @property
     def nbytes(self) -> int:
         return self.region.nbytes
+
+    @property
+    def mapped(self) -> bool:
+        """Is the underlying import still valid (no revocation since)?"""
+        return self._imported.mapped
+
+    def ensure_mapped(self) -> None:
+        """Raise ``SegmentUnmappedError`` if the mapping went stale."""
+        self._imported.ensure_mapped()
 
     def write(
         self,

@@ -71,6 +71,10 @@ class Tracer:
 
     def __init__(self) -> None:
         self.events: list[TraceEvent] = []
+        #: Wired by :func:`attach_tracer`: the devices and fabric whose
+        #: counters the summary reports (None for a standalone tracer).
+        self._devices: list = []
+        self._fabric = None
 
     def record(self, time: float, rank: int, kind: str, **detail: Any) -> None:
         self.events.append(TraceEvent(time, rank, kind, detail))
@@ -130,6 +134,29 @@ class Tracer:
             f"builds={stats['builds']} size={stats['size']}/{stats['maxsize']}"
             + ("" if stats["enabled"] else " (disabled)")
         )
+        if self._fabric is not None:
+            counters = self._fabric.counters
+            lines.append(
+                f"  fabric: retries={counters['retries']} "
+                f"faults={counters['faults']}"
+            )
+        if self._devices:
+            recovery: dict[str, int] = defaultdict(int)
+            for device in self._devices:
+                for key, value in device.recovery.items():
+                    recovery[key] += value
+            lines.append(
+                "  recovery: " + " ".join(
+                    f"{key}={recovery[key]}"
+                    for key in ("retries", "resumes", "timeouts", "remaps",
+                                "fallbacks", "aborts")
+                )
+            )
+        if self._fabric is not None and self._fabric.fault_plan is not None:
+            plan = self._fabric.fault_plan
+            lines.append(
+                f"  fault plan (seed={plan.seed}): {plan.one_line()}"
+            )
         return "\n".join(lines)
 
 
@@ -141,4 +168,6 @@ def attach_tracer(cluster: "Cluster") -> Tracer:
     tracer = Tracer()
     for device in cluster.world.devices:
         device.tracer = tracer
+    tracer._devices = list(cluster.world.devices)
+    tracer._fabric = cluster.fabric
     return tracer

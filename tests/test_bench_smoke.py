@@ -1,0 +1,91 @@
+"""Tests for the CI smoke benchmark and its comparison tool."""
+
+import importlib.util
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load_bench_compare():
+    spec = importlib.util.spec_from_file_location(
+        "bench_compare", REPO / "tools" / "bench_compare.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    from repro.bench.smoke import run_smoke
+
+    return run_smoke()
+
+
+class TestRunSmoke:
+    def test_emits_expected_metrics(self, metrics):
+        from repro.bench.smoke import SMOKE_METRICS
+
+        assert tuple(metrics) == SMOKE_METRICS
+        for name, value in metrics.items():
+            assert value > 0, name
+            assert value == pytest.approx(value), name  # finite
+
+    def test_fault_recovery_costs_time(self, metrics):
+        assert metrics["fault_recovery_us"] > metrics["fault_clean_us"]
+
+    def test_direct_pack_beats_generic(self, metrics):
+        assert (metrics["noncontig_direct_1kib_mibs"]
+                > metrics["noncontig_generic_1kib_mibs"])
+
+    def test_matches_committed_baseline(self, metrics):
+        """The committed baseline must stay in sync with the code — CI's
+        bench-smoke job diffs against it with a 20% tolerance."""
+        baseline_path = REPO / "benchmarks" / "BENCH_baseline.json"
+        baseline = json.loads(baseline_path.read_text())
+        compare = load_bench_compare()
+        lines, failed = compare.compare(baseline, metrics)
+        assert not failed, "\n".join(lines)
+
+
+class TestBenchCompare:
+    def test_classify_directions(self):
+        bc = load_bench_compare()
+        assert bc.classify("x_us", 100.0, 130.0, 0.2)[0] == "regression"
+        assert bc.classify("x_us", 100.0, 110.0, 0.2)[0] == "ok"
+        assert bc.classify("x_us", 100.0, 50.0, 0.2)[0] == "improved"
+        assert bc.classify("x_mibs", 100.0, 70.0, 0.2)[0] == "regression"
+        assert bc.classify("x_mibs", 100.0, 300.0, 0.2)[0] == "improved"
+        assert bc.classify("x_other", 100.0, 130.0, 0.2)[0] == "regression"
+        assert bc.classify("x_other", 100.0, 70.0, 0.2)[0] == "regression"
+        assert bc.classify("x_other", 100.0, 110.0, 0.2)[0] == "ok"
+
+    def test_missing_metric_fails(self):
+        bc = load_bench_compare()
+        _, failed = bc.compare({"a_us": 1.0}, {})
+        assert failed
+
+    def test_new_metric_is_reported_not_failed(self):
+        bc = load_bench_compare()
+        lines, failed = bc.compare({"a_us": 1.0}, {"a_us": 1.0, "b_us": 2.0})
+        assert not failed
+        assert any("new metric" in line for line in lines)
+
+    def test_cli_exit_codes(self, tmp_path):
+        bc_path = REPO / "tools" / "bench_compare.py"
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps({"a_us": 100.0}))
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps({"a_us": 105.0}))
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"a_us": 200.0}))
+        ok = subprocess.run([sys.executable, str(bc_path), str(base), str(good)],
+                            capture_output=True, text=True)
+        assert ok.returncode == 0 and "RESULT: ok" in ok.stdout
+        fail = subprocess.run([sys.executable, str(bc_path), str(base), str(bad)],
+                              capture_output=True, text=True)
+        assert fail.returncode == 1 and "RESULT: REGRESSION" in fail.stdout

@@ -5,6 +5,7 @@ import pytest
 
 from repro._units import KiB
 from repro.cluster import Cluster
+from repro.trace import attach_tracer
 
 
 def timed_transfer(cluster, nbytes=64 * KiB):
@@ -30,11 +31,15 @@ class TestErrorInjection:
 
         flaky = Cluster(n_nodes=2)
         flaky.fabric.set_error_rate(1.0, penalty=0.5, seed=1)
+        tracer = attach_tracer(flaky)
         t_flaky, payload_flaky = timed_transfer(flaky)
 
         assert payload_flaky == payload_clean  # retries are transparent
         assert t_flaky > 1.2 * t_clean
-        assert flaky.fabric.counters["retries"] > 0
+        retries = flaky.fabric.counters["retries"]
+        assert retries > 0
+        # The retry counter must be surfaced in the trace summary.
+        assert f"retries={retries}" in tracer.summary()
 
     def test_zero_rate_is_noop(self):
         cluster = Cluster(n_nodes=2)
