@@ -185,9 +185,12 @@ def main(argv: list[str] | None = None) -> int:
         from .smoke import run_smoke
 
         metrics = run_smoke()
+        # With --json -, stdout is reserved for the JSON document (so the
+        # output pipes into jq / bench_compare); the table goes to stderr.
+        table_out = sys.stderr if args.json == "-" else sys.stdout
         width = max(len(name) for name in metrics)
         for name, value in metrics.items():
-            print(f"{name:<{width}}  {value:12.3f}")
+            print(f"{name:<{width}}  {value:12.3f}", file=table_out)
         if args.json:
             payload = json.dumps(metrics, indent=2) + "\n"
             if args.json == "-":

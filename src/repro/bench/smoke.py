@@ -16,6 +16,8 @@ lower-is-better (simulated microseconds), ``*_mibs`` is higher-is-better
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from .._units import KiB, MiB, to_mib_s
@@ -27,7 +29,10 @@ from .noncontig import measure_point
 from .pingpong import pingpong
 from .sparse import run_sparse
 
-__all__ = ["run_smoke", "SMOKE_METRICS"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import MetricsRegistry
+
+__all__ = ["run_smoke", "smoke_registry", "SMOKE_METRICS"]
 
 #: Every metric :func:`run_smoke` emits, in emission order.
 SMOKE_METRICS = (
@@ -66,18 +71,42 @@ def _fault_pair() -> tuple[float, float]:
     return clean, faulty
 
 
+def smoke_registry() -> "MetricsRegistry":
+    """Run every smoke metric into a fresh metrics registry.
+
+    One :class:`~repro.obs.Gauge` per :data:`SMOKE_METRICS` name, in
+    emission order; the values are exactly what the pre-registry smoke
+    produced (the registry is a reporting layer, not a timing change).
+    """
+    from ..obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    gauges = {
+        name: registry.gauge(
+            name,
+            unit="us" if name.endswith("_us") else "MiB/s",
+            owner="repro.bench.smoke",
+        )
+        for name in SMOKE_METRICS
+    }
+    gauges["pingpong_8b_us"].set(pingpong(8))
+    gauges["pingpong_1mib_mibs"].set(to_mib_s(MiB / pingpong(1 * MiB)))
+    gauges["noncontig_generic_1kib_mibs"].set(
+        measure_point(1 * KiB, mode=NonContigMode.GENERIC))
+    gauges["noncontig_direct_1kib_mibs"].set(
+        measure_point(1 * KiB, mode=NonContigMode.DIRECT))
+    gauges["sparse_put_64b_mibs"].set(
+        run_sparse(64, op="put", shared=True).bandwidth)
+    clean, faulty = _fault_pair()
+    gauges["fault_clean_us"].set(clean)
+    gauges["fault_recovery_us"].set(faulty)
+    return registry
+
+
 def run_smoke() -> dict[str, float]:
     """Run every smoke metric; returns ``{name: value}`` (see
-    :data:`SMOKE_METRICS` for the order and naming convention)."""
-    metrics: dict[str, float] = {}
-    metrics["pingpong_8b_us"] = pingpong(8)
-    metrics["pingpong_1mib_mibs"] = to_mib_s(MiB / pingpong(1 * MiB))
-    metrics["noncontig_generic_1kib_mibs"] = measure_point(
-        1 * KiB, mode=NonContigMode.GENERIC)
-    metrics["noncontig_direct_1kib_mibs"] = measure_point(
-        1 * KiB, mode=NonContigMode.DIRECT)
-    metrics["sparse_put_64b_mibs"] = run_sparse(64, op="put", shared=True).bandwidth
-    clean, faulty = _fault_pair()
-    metrics["fault_clean_us"] = clean
-    metrics["fault_recovery_us"] = faulty
-    return metrics
+    :data:`SMOKE_METRICS` for the order and naming convention).
+
+    The values are read out of the :func:`smoke_registry` snapshot, so
+    the CI headline numbers and the observability layer cannot drift."""
+    return smoke_registry().snapshot()

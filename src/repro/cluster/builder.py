@@ -120,10 +120,27 @@ class Cluster:
         self.smi = SMIContext(self.engine, self.fabric, self.nodes, rank_to_node)
         self.world = MPIWorld(self.smi, protocol, policy=policy)
         self.contexts = [RankContext(self, r) for r in range(self.world.n_ranks)]
+        self._metrics = None
 
     @property
     def n_ranks(self) -> int:
         return self.world.n_ranks
+
+    @property
+    def metrics(self):
+        """The cluster's :class:`~repro.obs.MetricsRegistry` (built lazily).
+
+        Collects every subsystem's counters — pt2pt protocol counts,
+        recovery state, transport chunk stats, fabric traffic, plan-cache
+        hit rates, segment directory, fault injection, OSC strategy
+        counts, policy knobs, and the engine clock — under one flat
+        namespace.  See ``docs/OBSERVABILITY.md`` for the name registry.
+        """
+        if self._metrics is None:
+            from ..obs.wiring import build_registry
+
+            self._metrics = build_registry(self)
+        return self._metrics
 
     def launch(self, program: Callable, *args: Any) -> list[Process]:
         """Start ``program(ctx, *args)`` on every rank; returns processes."""

@@ -29,9 +29,13 @@ from .transactions import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ...sim import Engine
 
-__all__ = ["SCIFabric", "SCIConnectionError"]
+__all__ = ["SCIFabric", "SCIConnectionError", "FABRIC_RANK"]
 
 Topology = Union[RingTopology, TorusTopology]
+
+#: Pseudo-rank fabric-level trace events are recorded under; the timeline
+#: exporter (:mod:`repro.obs.timeline`) routes these to per-ringlet tracks.
+FABRIC_RANK = -1
 
 
 class SCIConnectionError(ConnectionError):
@@ -74,6 +78,11 @@ class SCIFabric:
         #: stalls) — None means a clean fabric.  See
         #: :class:`~repro.hardware.sci.faults.FaultPlan`.
         self.fault_plan: Optional[FaultPlan] = None
+        #: Wired by :func:`repro.trace.attach_tracer`: when set, every
+        #: wire-level transfer is recorded as one complete event under
+        #: :data:`FABRIC_RANK` (with start/duration/ringlet detail).
+        self.tracer = None
+        self._ringlet_ids: dict = {}
         #: Perf counters (transfers and bytes by kind), for tests/reports.
         self.counters: dict[str, int] = {
             "pio_writes": 0,
@@ -134,6 +143,29 @@ class SCIFabric:
         """
         self.fault_plan = plan
 
+    def _ringlet_of(self, route: Route) -> int:
+        """Stable ringlet index of a route (the ring its data enters first).
+
+        A plain ring has one ringlet (0); a torus has one per
+        ``(dim, ring_key)`` pair, numbered in first-use order so ids are
+        deterministic for a given program.
+        """
+        if not route.data_segments:
+            return 0
+        seg = route.data_segments[0]
+        key = seg[:-1] if isinstance(seg, tuple) else "ring"
+        return self._ringlet_ids.setdefault(key, len(self._ringlet_ids))
+
+    def _trace(self, kind: str, **detail) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.engine.now, FABRIC_RANK, kind, **detail)
+
+    def _trace_xfer(self, op: str, src: int, dst: int, nbytes: int,
+                    start: float, route: Route) -> None:
+        self._trace("fabric.xfer", op=op, src=src, dst=dst, nbytes=nbytes,
+                    start=start, duration=self.engine.now - start,
+                    ringlet=self._ringlet_of(route))
+
     def _draw_fault(self, src: int, dst: int, nbytes: int,
                     tearable: bool = False):
         if self.fault_plan is None:
@@ -154,6 +186,8 @@ class SCIFabric:
         yield self.engine.timeout(route.hops * params.link.hop_latency)
         yield self.network.transfer(route, charged, nbytes / duration)
         self.counters["faults"] += 1
+        self._trace("fabric.fault", fault=kind, src=src, nbytes=nbytes,
+                    delivered=delivered, ringlet=self._ringlet_of(route))
         if kind == FaultKind.TORN:
             raise TornTransferError(delivered, nbytes)
         raise SCITransientError(
@@ -220,6 +254,7 @@ class SCIFabric:
         nbytes = run.total_bytes
         if nbytes == 0:
             return cost
+        t0 = self.engine.now
         fault = self._draw_fault(src, dst, nbytes)
         if fault is not None:
             yield from self._abort_transfer(src, route, nbytes, duration, fault)
@@ -229,6 +264,7 @@ class SCIFabric:
         yield self.network.transfer(route, nbytes, nbytes / duration)
         self.counters["pio_writes"] += 1
         self.counters["bytes_written"] += nbytes
+        self._trace_xfer("pio_write", src, dst, nbytes, t0, route)
         return cost
 
     def pio_read(self, src: int, dst: int, run: AccessRun):
@@ -246,12 +282,14 @@ class SCIFabric:
             + 2 * max(0, route.hops - 1) * params.link.hop_latency
         )
         duration = txns * per_txn + params.adapter.pio_op_overhead
+        t0 = self.engine.now
         fault = self._draw_fault(src, dst, nbytes)
         if fault is not None:
             yield from self._abort_transfer(src, route, nbytes, duration, fault)
         yield self.network.transfer(route, nbytes, nbytes / duration)
         self.counters["pio_reads"] += 1
         self.counters["bytes_read"] += nbytes
+        self._trace_xfer("pio_read", src, dst, nbytes, t0, route)
         return duration
 
     def dma_transfer(self, src: int, dst: int, nbytes: int):
@@ -263,6 +301,7 @@ class SCIFabric:
         duration = dma_cost(nbytes, params) * self._retry_factor()
         if nbytes == 0:
             return 0.0
+        t0 = self.engine.now
         fault = self._draw_fault(src, dst, nbytes)
         if fault is not None:
             yield from self._abort_transfer(src, route, nbytes, duration, fault)
@@ -270,6 +309,7 @@ class SCIFabric:
         yield self.network.transfer(route, nbytes, nbytes / duration)
         self.counters["dma_transfers"] += 1
         self.counters["bytes_written"] += nbytes
+        self._trace_xfer("dma", src, dst, nbytes, t0, route)
         return duration
 
     def transfer_raw(self, src: int, dst: int, nbytes: int, duration: float,
@@ -295,6 +335,7 @@ class SCIFabric:
         if nbytes == 0:
             return
         duration *= self._retry_factor()
+        t0 = self.engine.now
         fault = self._draw_fault(src, dst, nbytes, tearable=tearable)
         if fault is not None:
             yield from self._abort_transfer(src, route, nbytes, duration, fault)
@@ -302,6 +343,7 @@ class SCIFabric:
         yield self.network.transfer(route, nbytes, nbytes / duration)
         self.counters["pio_writes"] += 1
         self.counters["bytes_written"] += nbytes
+        self._trace_xfer("raw", src, dst, nbytes, t0, route)
 
     def store_barrier(self, src: int, dst: int):
         """Wait until all writes issued by src towards dst have arrived.

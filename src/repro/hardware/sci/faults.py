@@ -230,6 +230,31 @@ class FaultPlan:
             lines.append(f"  [{ev.index}] {ev.kind} {detail}")
         return "\n".join(lines)
 
+    def as_dict(self) -> dict:
+        """JSON-safe dump: configuration, counters, and the replay log.
+
+        The timeline exporter embeds this in the trace's ``otherData`` so
+        a trace taken under fault injection carries the exact schedule
+        that produced it.
+        """
+        return {
+            "seed": self.seed,
+            "rates": {
+                "transient": self.transient_rate,
+                "torn": self.torn_rate,
+                "stall": self.stall_rate,
+            },
+            "stall_time": self.stall_time,
+            "unmap_after": self.unmap_after,
+            "max_faults": self.max_faults,
+            "max_consecutive": self.max_consecutive,
+            "counters": dict(self.counters),
+            "events": [
+                {"index": ev.index, "kind": ev.kind, **ev.detail}
+                for ev in self.events
+            ],
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<FaultPlan seed={self.seed} transient={self.transient_rate} "

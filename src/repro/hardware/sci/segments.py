@@ -281,6 +281,8 @@ class SegmentDirectory:
         self.fabric = fabric
         self._segments: dict[int, SCISegment] = {}
         self._ids = _counter()
+        #: Driver-level counters (``segments.*`` in the metrics registry).
+        self.counters = {"exports": 0, "imports": 0}
 
     def export(self, node: Node, buffer: Buffer) -> SCISegment:
         """Register a memory range of ``node`` for remote access."""
@@ -288,6 +290,7 @@ class SegmentDirectory:
             raise SegmentError("buffer does not belong to the exporting node")
         seg = SCISegment(next(self._ids), node, buffer)
         self._segments[seg.seg_id] = seg
+        self.counters["exports"] += 1
         return seg
 
     def lookup(self, seg_id: int) -> SCISegment:
@@ -300,4 +303,5 @@ class SegmentDirectory:
         """Map an exported segment into ``origin``'s reach."""
         if segment.seg_id not in self._segments:
             raise SegmentError(f"segment {segment.seg_id} was never exported")
+        self.counters["imports"] += 1
         return ImportedSegment(self.fabric, origin, segment)

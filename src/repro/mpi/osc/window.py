@@ -184,6 +184,9 @@ class WinGlobal:
         self.group = group
         #: Window parts, keyed by *world* rank.
         self.parts: dict[int, WinPart] = {}
+        #: Every rank's :class:`Win` handle (for the metrics registry's
+        #: ``osc.*`` collectors, which sum handle counters per window).
+        self.handles: list["Win"] = []
         self.fence_barrier = SMIBarrier(
             world.smi, ranks=list(group), home_rank=group[0]
         )
@@ -238,6 +241,7 @@ class Win:
             "emulated_gets": 0,
             "accumulates": 0,
         }
+        shared_state.handles.append(self)
 
     # -- helpers --------------------------------------------------------------------
 

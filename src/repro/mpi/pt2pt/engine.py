@@ -268,7 +268,7 @@ class RankDevice:
             sync_reply = None
         if sync_reply is not None:
             yield sync_reply.get()
-        self._trace("send.end", dest=dest, protocol=protocol)
+        self._trace("send.end", dest=dest, protocol=protocol, nbytes=total)
 
     # -- receive -----------------------------------------------------------------------
 
@@ -308,7 +308,8 @@ class RankDevice:
             n = yield from scheduler.recv_short(
                 msg, mem, base, ft, plan, count, seg_off, capacity, contiguous
             )
-            self._trace("recv.end", source=msg.envelope.source, protocol="short")
+            self._trace("recv.end", source=msg.envelope.source,
+                        protocol="short", nbytes=n)
             return Status(msg.envelope.source, msg.envelope.tag, n)
 
         if isinstance(msg, EagerMsg):
@@ -316,12 +317,14 @@ class RankDevice:
                 msg, mem, base, ft, plan, count, seg_off, capacity, mode,
                 contiguous,
             )
-            self._trace("recv.end", source=msg.envelope.source, protocol="eager")
+            self._trace("recv.end", source=msg.envelope.source,
+                        protocol="eager", nbytes=n)
             return Status(msg.envelope.source, msg.envelope.tag, n)
 
         assert isinstance(msg, RndvRequest)
         total = yield from scheduler.recv_rndv(
             msg, mem, base, ft, plan, count, seg_off, capacity, mode, contiguous
         )
-        self._trace("recv.end", source=msg.envelope.source, protocol="rndv")
+        self._trace("recv.end", source=msg.envelope.source,
+                    protocol="rndv", nbytes=total)
         return Status(msg.envelope.source, msg.envelope.tag, total)

@@ -194,6 +194,24 @@ class TransferPolicy:
         """
         return None
 
+    # -- observability -------------------------------------------------------------
+
+    def describe(self) -> dict[str, int]:
+        """The numeric decision knobs, for the metrics registry.
+
+        Exported as ``policy.*`` gauges (bytes unless noted) so every
+        metrics snapshot records which threshold regime produced it.
+        """
+        cfg = self.config
+        return {
+            "short_threshold": cfg.short_threshold,
+            "eager_threshold": cfg.eager_threshold,
+            "eager_slots": cfg.eager_slots,
+            "rendezvous_chunk": cfg.rendezvous_chunk,
+            "direct_min_block": cfg.direct_min_block,
+            "remote_put_threshold": cfg.remote_put_threshold,
+        }
+
 
 @dataclass(frozen=True)
 class ChunkedCollectivesPolicy(TransferPolicy):

@@ -132,6 +132,7 @@ class TransferScheduler:
         recovery = device.policy.recovery
         t0 = engine.now
         n = data.nbytes
+        device._trace("chunk.write.begin", peer=dst, nbytes=n, mode=mode)
         pos = 0          # delivered bytes of this chunk
         attempt = 0
         while True:
@@ -193,6 +194,8 @@ class TransferScheduler:
         self.stats["chunks"] += 1
         self.stats["chunk_bytes"] += n
         self.stats["chunk_time"] += engine.now - t0
+        device._trace("chunk.write.end", peer=dst, nbytes=n,
+                      retries=attempt)
 
     # -- credit waits with timeout ------------------------------------------------------
 

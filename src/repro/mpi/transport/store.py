@@ -217,6 +217,8 @@ class RemoteStore:
             yield device.engine.timeout(
                 device.node.memory.copy_cost(nbytes).duration
             )
+        device._trace("store.emulated", target=wtarget, nbytes=nbytes,
+                      message=type(msg).__name__)
         device.world.device(wtarget).service.put(msg)
 
     def request_emulated(self, wtarget: int, msg: Any):

@@ -1,0 +1,42 @@
+"""Unified observability: metrics registry, timeline export, hooks.
+
+This package is the single observability layer of the stack (see
+``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments and
+  pull-collectors over the existing subsystem counter dicts;
+* :mod:`repro.obs.timeline` — Chrome/Perfetto ``trace_event`` export and
+  a compact per-rank text timeline;
+* :mod:`repro.obs.hooks` — span-enter/exit metric feeding and a sampling
+  hook on simulated-time advance;
+* :mod:`repro.obs.wiring` — :func:`build_registry` assembling the whole
+  cluster's registry (exposed as ``Cluster.metrics``);
+* :mod:`repro.obs.cli` — the ``repro-trace`` command writing
+  ``trace.json`` + ``metrics.json``.
+"""
+
+from .hooks import TimeSampler, attach_span_metrics
+from .metrics import Counter, Gauge, Histogram, MetricError, MetricsRegistry
+from .timeline import (
+    FABRIC_RANK,
+    chrome_trace,
+    text_timeline,
+    write_chrome_trace,
+)
+from .wiring import build_registry
+
+__all__ = [
+    "Counter",
+    "FABRIC_RANK",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "TimeSampler",
+    "attach_span_metrics",
+    "build_registry",
+    "chrome_trace",
+    "text_timeline",
+    "write_chrome_trace",
+]

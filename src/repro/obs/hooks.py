@@ -1,0 +1,105 @@
+"""Profiling hooks: attach measurements without monkeypatching.
+
+Two attachment points exist after this module's wiring:
+
+* **span enter/exit callbacks** on the :class:`~repro.trace.Tracer`
+  (``tracer.on_span_enter`` / ``tracer.on_span_exit``, lists of
+  callables receiving the raw :class:`~repro.trace.TraceEvent`), fired
+  synchronously from ``Tracer.record`` for ``*.begin`` / ``*.end``
+  events;
+* a **sampling hook on simulated-time advance** on the
+  :class:`~repro.sim.engine.Engine` (``engine.add_time_hook(fn)``),
+  fired whenever the clock moves forward.
+
+Both are zero-cost when nothing is attached and *never* affect simulated
+timing — hooks run in host time between engine events.  This module
+provides the two standard consumers benchmarks and tests need.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim import Engine
+    from ..trace import TraceEvent, Tracer
+
+__all__ = ["TimeSampler", "attach_span_metrics"]
+
+
+def attach_span_metrics(tracer: "Tracer", registry: MetricsRegistry,
+                        prefix: str = "span") -> None:
+    """Feed per-kind span counts and total times into ``registry``.
+
+    For every span kind ``k`` the tracer closes, two instruments appear
+    lazily: ``<prefix>.<k>.count`` and ``<prefix>.<k>.time_us`` (summed
+    simulated duration across all ranks).  Nested spans of the same kind
+    on one rank match LIFO, mirroring ``Tracer.spans()``.
+    """
+    open_begins: dict[tuple[int, str], list[float]] = {}
+    counters: dict[str, tuple] = {}
+
+    def on_enter(ev: "TraceEvent") -> None:
+        op = ev.kind[: -len(".begin")]
+        open_begins.setdefault((ev.rank, op), []).append(ev.time)
+
+    def on_exit(ev: "TraceEvent") -> None:
+        op = ev.kind[: -len(".end")]
+        stack = open_begins.get((ev.rank, op))
+        if not stack:
+            return
+        start = stack.pop()
+        if op not in counters:
+            counters[op] = (
+                registry.counter(f"{prefix}.{op}.count", unit="1",
+                                 owner="repro.obs.hooks"),
+                registry.counter(f"{prefix}.{op}.time_us", unit="us",
+                                 owner="repro.obs.hooks"),
+            )
+        count, time_us = counters[op]
+        count.inc()
+        time_us.inc(ev.time - start)
+
+    tracer.on_span_enter.append(on_enter)
+    tracer.on_span_exit.append(on_exit)
+
+
+class TimeSampler:
+    """Sample a probe at a fixed simulated-time interval.
+
+    Attaches to the engine's time-advance hook; whenever the clock
+    crosses the next sampling point, ``probe()`` is evaluated and
+    ``(sample_time, value)`` is appended to :attr:`samples`.  Detach with
+    :meth:`close`.
+
+    Used by benchmarks to record e.g. the chunk counter or fabric byte
+    totals *over simulated time* without patching any transport code::
+
+        sampler = TimeSampler(cluster.engine, interval=100.0,
+                              probe=lambda: cluster.fabric.counters["bytes_written"])
+        cluster.run(program)
+        sampler.close()
+        # sampler.samples == [(100.0, ...), (200.0, ...), ...]
+    """
+
+    def __init__(self, engine: "Engine", interval: float,
+                 probe: Callable[[], float], start: Optional[float] = None):
+        if interval <= 0:
+            raise ValueError(f"sampling interval must be positive: {interval}")
+        self.engine = engine
+        self.interval = interval
+        self.probe = probe
+        self.samples: list[tuple[float, float]] = []
+        self._next = (start if start is not None else engine.now) + interval
+        engine.add_time_hook(self._on_advance)
+
+    def _on_advance(self, now: float) -> None:
+        while now >= self._next:
+            self.samples.append((self._next, self.probe()))
+            self._next += self.interval
+
+    def close(self) -> None:
+        """Detach from the engine (idempotent)."""
+        self.engine.remove_time_hook(self._on_advance)

@@ -162,6 +162,9 @@ def main(argv=None) -> int:
     reports = [run_suite(suite, seed, args)
                for suite in suites for seed in args.seeds]
 
+    # With --json -, stdout carries exactly one JSON document (pipeable
+    # into jq / CI checks); the human report moves to stderr.
+    report_out = sys.stderr if args.json == "-" else sys.stdout
     failed = 0
     for rep in reports:
         verdict = "ok" if rep["ok"] else "PAYLOAD MISMATCH"
@@ -171,9 +174,9 @@ def main(argv=None) -> int:
         overhead = rep["faulty_us"] / rep["clean_us"] if rep["clean_us"] else 1.0
         print(f"{rep['suite']:<12} seed={rep['seed']:<3} {verdict:<16} "
               f"overhead={overhead:5.2f}x  faults[{faults or 'none'}]  "
-              f"recovery[{recov or 'none'}]")
+              f"recovery[{recov or 'none'}]", file=report_out)
         if args.trace and "trace" in rep:
-            print(rep["trace"])
+            print(rep["trace"], file=report_out)
 
     if args.json:
         payload = json.dumps(reports, indent=2)
@@ -183,7 +186,7 @@ def main(argv=None) -> int:
             with open(args.json, "w") as fh:
                 fh.write(payload)
 
-    print(f"{len(reports)} cells, {failed} failed")
+    print(f"{len(reports)} cells, {failed} failed", file=report_out)
     return 1 if failed else 0
 
 

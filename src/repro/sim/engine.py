@@ -33,6 +33,7 @@ class Engine:
         self._active_process: Optional[Process] = None
         #: Count of events processed so far (diagnostics / perf counters).
         self.events_processed: int = 0
+        self._time_hooks: list = []
 
     # -- factory helpers ------------------------------------------------------
 
@@ -66,6 +67,24 @@ class Engine:
         """The process currently executing (None between process steps)."""
         return self._active_process
 
+    # -- observation hooks -----------------------------------------------------
+
+    def add_time_hook(self, hook) -> None:
+        """Call ``hook(now)`` whenever the simulated clock moves forward.
+
+        Hooks observe only (they run between engine events, in host time)
+        and must never schedule or mutate simulation state; they are the
+        sampling attachment point used by :class:`repro.obs.hooks.TimeSampler`.
+        """
+        self._time_hooks.append(hook)
+
+    def remove_time_hook(self, hook) -> None:
+        """Detach ``hook`` (no-op if it is not attached)."""
+        try:
+            self._time_hooks.remove(hook)
+        except ValueError:
+            pass
+
     # -- scheduling (internal API used by Event) ------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
@@ -90,7 +109,11 @@ class Engine:
         when, _, event = heapq.heappop(self._queue)
         if when < self.now:  # pragma: no cover - defensive; cannot happen
             raise SimError(f"time went backwards: {when} < {self.now}")
+        advanced = when > self.now
         self.now = when
+        if advanced and self._time_hooks:
+            for hook in list(self._time_hooks):
+                hook(when)
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None
         for callback in callbacks:

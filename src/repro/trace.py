@@ -71,13 +71,25 @@ class Tracer:
 
     def __init__(self) -> None:
         self.events: list[TraceEvent] = []
+        #: Profiling hooks (see :mod:`repro.obs.hooks`): callables invoked
+        #: synchronously from :meth:`record` with the raw TraceEvent for
+        #: every ``*.begin`` / ``*.end`` event respectively.
+        self.on_span_enter: list = []
+        self.on_span_exit: list = []
         #: Wired by :func:`attach_tracer`: the devices and fabric whose
         #: counters the summary reports (None for a standalone tracer).
         self._devices: list = []
         self._fabric = None
 
     def record(self, time: float, rank: int, kind: str, **detail: Any) -> None:
-        self.events.append(TraceEvent(time, rank, kind, detail))
+        event = TraceEvent(time, rank, kind, detail)
+        self.events.append(event)
+        if kind.endswith(".begin"):
+            for hook in self.on_span_enter:
+                hook(event)
+        elif kind.endswith(".end"):
+            for hook in self.on_span_exit:
+                hook(event)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -161,13 +173,17 @@ class Tracer:
 
 
 def attach_tracer(cluster: "Cluster") -> Tracer:
-    """Attach a tracer to every rank device of ``cluster``.
+    """Attach a tracer to every rank device and the fabric of ``cluster``.
 
-    Must be called before the program runs; returns the Tracer.
+    Must be called before the program runs; returns the Tracer.  Rank
+    devices record MPI-call spans; the fabric records its wire-level
+    transfers under the pseudo-rank :data:`repro.obs.timeline.FABRIC_RANK`
+    (one timeline track per ringlet).
     """
     tracer = Tracer()
     for device in cluster.world.devices:
         device.tracer = tracer
+    cluster.fabric.tracer = tracer
     tracer._devices = list(cluster.world.devices)
     tracer._fabric = cluster.fabric
     return tracer

@@ -1,0 +1,116 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricError, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter("a.count")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.sample() == {"a.count": 5}
+
+    def test_counter_rejects_negative(self):
+        c = Counter("a.count")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("a.level")
+        g.set(7.5)
+        g.set(2.0)
+        assert g.sample() == {"a.level": 2.0}
+
+    def test_histogram_expands_to_five_keys(self):
+        h = Histogram("a.size")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.sample() == {
+            "a.size.count": 3,
+            "a.size.sum": 6.0,
+            "a.size.min": 1.0,
+            "a.size.max": 3.0,
+            "a.size.mean": 2.0,
+        }
+
+    def test_histogram_empty_is_all_zero(self):
+        assert set(Histogram("a").sample().values()) == {0}
+
+    def test_invalid_names_rejected(self):
+        for bad in ("", "Upper.case", "trailing.", ".leading", "sp ace", "a..b"):
+            with pytest.raises(MetricError):
+                Counter(bad)
+
+
+class TestRegistry:
+    def test_snapshot_in_registration_order(self):
+        reg = MetricsRegistry()
+        reg.counter("b.second")
+        reg.gauge("a.first")  # registration order, not alphabetical
+        reg.register_collector(["c.third"], lambda: {"c.third": 9})
+        assert list(reg.snapshot()) == ["b.second", "a.first", "c.third"]
+
+    def test_instrument_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x.y")
+        with pytest.raises(MetricError):
+            reg.gauge("x.y")
+
+    def test_collector_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.register_collector(["x.y"], lambda: {"x.y": 1})
+        with pytest.raises(MetricError):
+            reg.counter("x.y")
+        with pytest.raises(MetricError):
+            reg.register_collector(["z", "x.y"], lambda: {})
+
+    def test_histogram_derived_keys_collide(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        with pytest.raises(MetricError):
+            reg.counter("h.count")
+
+    def test_collector_output_validated(self):
+        reg = MetricsRegistry()
+        reg.register_collector(["a", "b"], lambda: {"a": 1})
+        with pytest.raises(MetricError):
+            reg.snapshot()
+
+    def test_names_contains_len_get(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        reg.histogram("h")
+        reg.register_collector(["z"], lambda: {"z": 0})
+        assert reg.names() == ["a", "h.count", "h.sum", "h.min", "h.max",
+                              "h.mean", "z"]
+        assert "a" in reg and "h.count" in reg and "z" in reg
+        assert "missing" not in reg
+        assert len(reg) == 7
+        assert reg.get("a") is c
+        with pytest.raises(MetricError):
+            reg.get("z")  # collector names have no instrument object
+
+    def test_diff(self):
+        before = {"a": 1, "b": 10.0}
+        after = {"a": 4, "b": 10.5, "new": 2}
+        assert MetricsRegistry.diff(before, after) == {"a": 3, "b": 0.5}
+
+    def test_to_json_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.gauge("b").set(1.5)
+        assert json.loads(reg.to_json()) == {"a": 3, "b": 1.5}
+
+    def test_collectors_pull_live_values(self):
+        state = {"hits": 0}
+        reg = MetricsRegistry()
+        reg.register_collector(["cache.hits"],
+                               lambda: {"cache.hits": state["hits"]})
+        assert reg.snapshot() == {"cache.hits": 0}
+        state["hits"] = 7
+        assert reg.snapshot() == {"cache.hits": 7}
