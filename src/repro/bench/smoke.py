@@ -11,7 +11,7 @@ on regressions beyond its tolerance.
 
 Metric naming carries the comparison direction: ``*_us`` is
 lower-is-better (simulated microseconds), ``*_mibs`` is higher-is-better
-(MiB/s).
+(MiB/s), ``*_ops`` is higher-is-better (service ops per second).
 """
 
 from __future__ import annotations
@@ -28,6 +28,7 @@ from ..mpi.pt2pt import NonContigMode
 from .noncontig import measure_point
 from .pingpong import pingpong
 from .sparse import run_sparse
+from .svc import run_svc_point
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..obs import MetricsRegistry
@@ -43,7 +44,17 @@ SMOKE_METRICS = (
     "sparse_put_64b_mibs",
     "fault_clean_us",
     "fault_recovery_us",
+    "svc_throughput_ops",
+    "svc_p99_us",
 )
+
+
+def _unit(name: str) -> str:
+    if name.endswith("_us"):
+        return "us"
+    if name.endswith("_ops"):
+        return "ops/s"
+    return "MiB/s"
 
 
 def _fault_pair() -> tuple[float, float]:
@@ -82,11 +93,7 @@ def smoke_registry() -> "MetricsRegistry":
 
     registry = MetricsRegistry()
     gauges = {
-        name: registry.gauge(
-            name,
-            unit="us" if name.endswith("_us") else "MiB/s",
-            owner="repro.bench.smoke",
-        )
+        name: registry.gauge(name, unit=_unit(name), owner="repro.bench.smoke")
         for name in SMOKE_METRICS
     }
     gauges["pingpong_8b_us"].set(pingpong(8))
@@ -100,6 +107,9 @@ def smoke_registry() -> "MetricsRegistry":
     clean, faulty = _fault_pair()
     gauges["fault_clean_us"].set(clean)
     gauges["fault_recovery_us"].set(faulty)
+    throughput, p99 = run_svc_point()
+    gauges["svc_throughput_ops"].set(throughput)
+    gauges["svc_p99_us"].set(p99)
     return registry
 
 

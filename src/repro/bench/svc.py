@@ -1,0 +1,40 @@
+"""Service smoke point: throughput and tail latency of the KV service.
+
+One small, fixed :func:`~repro.svc.driver.run_service` cell — 2 passive
+server shards, 2 clients, a mixed uniform workload — distilled to the two
+headline numbers CI gates on:
+
+* ``svc_throughput_ops`` — completed service ops per simulated second
+  (higher is better; the ``_ops`` suffix carries the direction for
+  ``tools/bench_compare.py``);
+* ``svc_p99_us`` — the worst per-op-class p99 latency (reads, writes,
+  counter increments), in simulated microseconds (lower is better).
+
+The cell also runs the driver's counter-oracle verification; a bench
+point from an incorrect service is meaningless, so a verification
+failure raises instead of reporting numbers.
+"""
+
+from __future__ import annotations
+
+from ..svc import ServiceConfig, WorkloadSpec, run_service
+
+__all__ = ["run_svc_point"]
+
+
+def run_svc_point() -> tuple[float, float]:
+    """Return ``(throughput_ops, p99_us)`` of the canonical smoke cell."""
+    spec = WorkloadSpec(n_keys=32, n_counter_keys=8, read_fraction=0.5,
+                        incr_fraction=0.2, ops_per_client=60, value_size=64,
+                        seed=1)
+    config = ServiceConfig(n_servers=2, n_clients=2, slots_per_shard=32,
+                           counter_slots=8, workload=spec)
+    report = run_service(config)
+    if not report["verified"]:
+        raise AssertionError(
+            f"svc smoke cell failed counter verification: "
+            f"{report['counter_mismatches']}"
+        )
+    p99 = max(report["latency_us"][kind]["p99"]
+              for kind in ("read", "write", "incr"))
+    return report["throughput_ops"], p99

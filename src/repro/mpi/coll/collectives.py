@@ -53,6 +53,12 @@ OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
     "prod": lambda a, b: a * b,
     "min": np.minimum,
     "max": np.maximum,
+    # Bitwise ops (MPI_BAND/BOR/BXOR) on integer dtypes; `bor` is the
+    # repro.svc seqlock write-claim primitive (fetch_and_op of the
+    # version word's busy bit).
+    "band": np.bitwise_and,
+    "bor": np.bitwise_or,
+    "bxor": np.bitwise_xor,
 }
 
 

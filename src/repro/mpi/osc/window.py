@@ -37,7 +37,7 @@ from typing import TYPE_CHECKING, Any, Optional
 import numpy as np
 
 from ...sim import Channel, Event
-from ...smi import SMIBarrier, SMILock
+from ...smi import SMIBarrier, SMIRWLock
 from ..coll.collectives import OPS
 from ..datatypes.base import Datatype
 from ..errors import RMAError, TransferFault
@@ -192,8 +192,10 @@ class WinGlobal:
         )
         #: Passive-target locks, one per target, homed at the target
         #: ("mutual exclusion ... via shared memory locks", Sec. 4.2).
-        self.locks: dict[int, SMILock] = {
-            w: SMILock(world.smi, home_rank=w, name=f"win{win_id}-lock-w{w}")
+        #: Reader–writer: shared epochs run concurrently, exclusive
+        #: acquisition is FIFO starvation-free.
+        self.locks: dict[int, SMIRWLock] = {
+            w: SMIRWLock(world.smi, home_rank=w, name=f"win{win_id}-lock-w{w}")
             for w in group
         }
         #: Epoch notices for post/start/complete/wait, keyed by
@@ -229,6 +231,8 @@ class Win:
         self._dirty_targets: set[int] = set()
         #: Outstanding emulated-operation acknowledgements.
         self._pending_acks: list[Event] = []
+        #: Mode of each held passive-target lock (world rank -> exclusive).
+        self._held_locks: dict[int, bool] = {}
         #: World ranks whose window segment became unmappable mid-epoch:
         #: direct access is permanently degraded to the emulated path for
         #: them (the :meth:`TransferPolicy.degraded_strategy` decision).
@@ -324,7 +328,8 @@ class Win:
             self.device._trace("osc.put.end", target=wtarget, strategy="local")
             return
 
-        strategy = self.policy.put_strategy(part.shared, run is not None)
+        strategy = self.policy.osc_op_strategy("put", n, part.shared,
+                                               run is not None)
         if strategy == OSCStrategy.DIRECT and wtarget in self._degraded:
             strategy = self.policy.degraded_strategy(strategy)
         if strategy == OSCStrategy.DIRECT:
@@ -410,7 +415,8 @@ class Win:
             self.device._trace("osc.get.end", target=wtarget, strategy="local")
             return data
 
-        strategy = self.policy.get_strategy(nbytes, part.shared, run is not None)
+        strategy = self.policy.osc_op_strategy("get", nbytes, part.shared,
+                                               run is not None)
         if strategy != OSCStrategy.EMULATED and wtarget in self._degraded:
             strategy = self.policy.degraded_strategy(strategy)
         if strategy == OSCStrategy.DIRECT:
@@ -640,21 +646,36 @@ class Win:
     def lock(self, target: int, exclusive: bool = True):
         """Passive-target lock (MPI_Win_lock).
 
-        Shared locks are treated conservatively as exclusive — the paper's
-        implementation serializes via SMI spinlocks and recommends against
-        contended passive access anyway.
+        ``exclusive=False`` (MPI_LOCK_SHARED) admits concurrent shared
+        holders; exclusive acquisition (MPI_LOCK_EXCLUSIVE) is granted
+        FIFO, so it cannot be starved by a stream of readers (see
+        :class:`~repro.smi.sync.SMIRWLock`).
         """
-        self.device._trace("osc.lock.begin", target=self._world(target))
+        wtarget = self._world(target)
+        self.device._trace("osc.lock.begin", target=wtarget,
+                           exclusive=exclusive)
         yield self.engine.timeout(self.config.osc_call_overhead)
-        yield from self.state.locks[self._world(target)].acquire(self.world_rank)
-        self.device._trace("osc.lock.end", target=self._world(target))
+        yield from self.state.locks[wtarget].acquire(
+            self.world_rank, exclusive=exclusive
+        )
+        self._held_locks[wtarget] = exclusive
+        self.device._trace("osc.lock.end", target=wtarget)
 
     def unlock(self, target: int):
         """Release the passive-target lock after completing accesses."""
-        self.device._trace("osc.unlock.begin", target=self._world(target))
+        wtarget = self._world(target)
+        self.device._trace("osc.unlock.begin", target=wtarget)
         yield from self._complete_outstanding()
-        yield from self.state.locks[self._world(target)].release(self.world_rank)
-        self.device._trace("osc.unlock.end", target=self._world(target))
+        try:
+            exclusive = self._held_locks.pop(wtarget)
+        except KeyError:
+            raise RMAError(
+                f"unlock of target {target} without a matching lock"
+            ) from None
+        yield from self.state.locks[wtarget].release(
+            self.world_rank, exclusive=exclusive
+        )
+        self.device._trace("osc.unlock.end", target=wtarget)
 
 
 def win_create(comm: "Communicator", size_bytes: int, shared: bool = True):

@@ -100,6 +100,10 @@ class TransferPolicy:
 
     config: ProtocolConfig = DEFAULT_PROTOCOL
     recovery: RecoveryPolicy = DEFAULT_RECOVERY
+    #: RMA payloads at or below this size are latency-bound: one PIO
+    #: transaction beats an interrupt round-trip regardless of the
+    #: coarse put/get split (the ``repro.svc`` slot accesses live here).
+    small_rma_threshold: int = 256
 
     def bind(self, config: ProtocolConfig) -> "TransferPolicy":
         """This policy rebound to another protocol config (keeps subclass)."""
@@ -170,6 +174,30 @@ class TransferPolicy:
             return OSCStrategy.REMOTE_PUT
         return OSCStrategy.EMULATED
 
+    def osc_op_strategy(self, op: str, nbytes: int, shared: bool,
+                        simple_run: bool) -> str:
+        """Per-operation strategy for one RMA access.
+
+        The window layer (and the ``repro.svc`` hot path) ask here instead
+        of the coarse put/get split: accumulate-class operations always
+        run at the target (read-modify-write needs the target CPU, SCI has
+        no remote atomics); small single-run accesses on shared windows
+        (``nbytes <= small_rma_threshold``) always go DIRECT — at that
+        size the per-transaction CPU stall of a remote load is cheaper
+        than an interrupt round-trip, for reads as well as writes;
+        everything else falls through to :meth:`put_strategy` /
+        :meth:`get_strategy`.
+        """
+        if op in ("accumulate", "fetch_and_op"):
+            return OSCStrategy.EMULATED
+        if shared and simple_run and nbytes <= self.small_rma_threshold:
+            return OSCStrategy.DIRECT
+        if op == "put":
+            return self.put_strategy(shared, simple_run)
+        if op == "get":
+            return self.get_strategy(nbytes, shared, simple_run)
+        raise ValueError(f"unknown RMA operation {op!r}")
+
     def degraded_strategy(self, strategy: str) -> str:
         """Fallback strategy once a target segment became unmappable.
 
@@ -210,6 +238,7 @@ class TransferPolicy:
             "rendezvous_chunk": cfg.rendezvous_chunk,
             "direct_min_block": cfg.direct_min_block,
             "remote_put_threshold": cfg.remote_put_threshold,
+            "small_rma_threshold": self.small_rma_threshold,
         }
 
 

@@ -46,7 +46,11 @@ __all__ = [
 _NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
 
 #: Snapshot keys a Histogram expands into (appended to its name).
-_HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean")
+_HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "mean",
+                     "p50", "p95", "p99")
+
+#: The quantiles a Histogram exports (snapshot key suffix -> q).
+_HISTOGRAM_QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
 
 
 class MetricError(ValueError):
@@ -131,7 +135,12 @@ class Histogram(_Instrument):
     """Running distribution summary of observed values.
 
     Snapshots expand into ``<name>.count`` / ``.sum`` / ``.min`` / ``.max``
-    / ``.mean`` (all 0 before the first observation).
+    / ``.mean`` / ``.p50`` / ``.p95`` / ``.p99`` (all 0 before the first
+    observation).  Quantiles are *exact*: every observation is retained
+    and :meth:`percentile` interpolates linearly between order statistics
+    (numpy's default), so a deterministic run yields bit-identical
+    quantiles — the property the ``repro-svc`` latency report and the CI
+    baselines rely on.
     """
 
     kind = "histogram"
@@ -142,24 +151,52 @@ class Histogram(_Instrument):
         self.total = 0.0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
+        self._values: list[float] = []
+        self._sorted = True
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self._min = value if self._min is None else min(self._min, value)
         self._max = value if self._max is None else max(self._max, value)
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(value)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (``0 <= q <= 1``) of everything observed.
+
+        Linear interpolation between the two nearest order statistics;
+        0.0 before the first observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile {q} outside [0, 1]")
+        if not self._values:
+            return 0.0
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        values = self._values
+        pos = q * (len(values) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(values) - 1)
+        frac = pos - lo
+        return values[lo] * (1.0 - frac) + values[hi] * frac
 
     def sample_names(self) -> tuple[str, ...]:
         return tuple(f"{self.name}.{field}" for field in _HISTOGRAM_FIELDS)
 
     def sample(self) -> dict[str, float]:
-        return {
+        out = {
             f"{self.name}.count": self.count,
             f"{self.name}.sum": self.total,
             f"{self.name}.min": self._min if self._min is not None else 0.0,
             f"{self.name}.max": self._max if self._max is not None else 0.0,
             f"{self.name}.mean": self.total / self.count if self.count else 0.0,
         }
+        for field, q in _HISTOGRAM_QUANTILES:
+            out[f"{self.name}.{field}"] = self.percentile(q)
+        return out
 
 
 class MetricsRegistry:

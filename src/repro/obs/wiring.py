@@ -38,7 +38,7 @@ _OSC_COUNTERS = ("direct_puts", "direct_gets", "remote_puts",
                  "emulated_puts", "emulated_gets", "accumulates")
 _POLICY_KNOBS = ("short_threshold", "eager_threshold", "eager_slots",
                  "rendezvous_chunk", "direct_min_block",
-                 "remote_put_threshold")
+                 "remote_put_threshold", "small_rma_threshold")
 
 
 def _summed(dicts, keys, prefix: str):

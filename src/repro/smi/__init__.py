@@ -6,7 +6,7 @@ uses for one-sided synchronization.
 """
 
 from .regions import RegionHandle, SharedRegion, SMIContext, SMIError
-from .sync import SMIBarrier, SMILock
+from .sync import SMIBarrier, SMILock, SMIRWLock
 
 __all__ = [
     "RegionHandle",
@@ -14,5 +14,6 @@ __all__ = [
     "SMIContext",
     "SMIError",
     "SMILock",
+    "SMIRWLock",
     "SharedRegion",
 ]

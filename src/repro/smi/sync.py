@@ -19,15 +19,17 @@ The cost model here reflects that characterisation:
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING
 
-from ..sim import Broadcast, Lock
+from ..sim import Broadcast, Event, Lock
 from .regions import SMIContext, SMIError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     pass
 
-__all__ = ["SMILock", "SMIBarrier", "LOCAL_ACCESS_COST", "POLL_INTERVAL"]
+__all__ = ["SMILock", "SMIRWLock", "SMIBarrier", "LOCAL_ACCESS_COST",
+           "POLL_INTERVAL"]
 
 #: Cost of one cache-coherent local lock access (test or set).
 LOCAL_ACCESS_COST: float = 0.05
@@ -78,6 +80,124 @@ class SMILock:
     @property
     def locked(self) -> bool:
         return self._lock.locked
+
+
+class SMIRWLock:
+    """A reader–writer spinlock in the shared region of its home rank.
+
+    MPI-2 passive-target synchronization distinguishes shared and
+    exclusive access epochs; the paper's SMI spinlocks serialize both.
+    This lock keeps the spinlock cost model (test + set word accesses,
+    polling latency on a contended hand-over) but lets any number of
+    *shared* holders proceed concurrently.
+
+    Exclusive acquisition is starvation-free: requests are granted in
+    strict FIFO order, so a reader arriving after a waiting writer queues
+    behind it instead of joining the active reader group (no reader
+    convoy can overtake a writer).  A release hands the lock to the
+    queue head — either one writer, or the whole run of consecutive
+    readers at the front.
+    """
+
+    def __init__(self, context: SMIContext, home_rank: int, name: str = ""):
+        self.context = context
+        self.home_rank = home_rank
+        self.name = name or f"smirwlock@r{home_rank}"
+        self._readers = 0
+        self._writer = False
+        #: FIFO of blocked requests: ("s" | "x", grant event).
+        self._queue: deque[tuple[str, Event]] = deque()
+        #: acquisitions that found the lock held (contention stat).
+        self.contended_acquires = 0
+        #: grants by mode, and the high-water mark of concurrent readers.
+        self.shared_grants = 0
+        self.exclusive_grants = 0
+        self.max_concurrent_shared = 0
+
+    def _access_cost(self, rank: int) -> float:
+        if self.context.same_node(rank, self.home_rank):
+            return LOCAL_ACCESS_COST
+        return self.context.node_of(rank).params.adapter.read_roundtrip
+
+    def _grant(self, exclusive: bool) -> None:
+        if exclusive:
+            self._writer = True
+            self.exclusive_grants += 1
+        else:
+            self._readers += 1
+            self.shared_grants += 1
+            self.max_concurrent_shared = max(self.max_concurrent_shared,
+                                             self._readers)
+
+    def acquire(self, rank: int, exclusive: bool = True):
+        """DES generator: acquire in shared or exclusive mode."""
+        eng = self.context.engine
+        cost = self._access_cost(rank)
+        # Test (read the lock word) ...
+        yield eng.timeout(cost)
+        if exclusive:
+            free = (not self._writer and self._readers == 0
+                    and not self._queue)
+        else:
+            # Readers join only while no writer holds *or waits for* the
+            # lock (a non-empty queue always has a writer at or before
+            # its head — that is the starvation-freedom rule).
+            free = not self._writer and not self._queue
+        if free:
+            self._grant(exclusive)
+        else:
+            self.contended_acquires += 1
+            ev = Event(eng, name=f"{self.name}:{'x' if exclusive else 's'}")
+            self._queue.append(("x" if exclusive else "s", ev))
+            yield ev
+            # Spinning: the hand-over is noticed at the next poll.
+            yield eng.timeout(
+                LOCAL_ACCESS_COST
+                if self.context.same_node(rank, self.home_rank)
+                else POLL_INTERVAL
+            )
+        # ... and set (write the lock word).
+        yield eng.timeout(cost)
+
+    def release(self, rank: int, exclusive: bool = True):
+        """DES generator: release a shared or exclusive hold."""
+        yield self.context.engine.timeout(self._access_cost(rank))
+        if exclusive:
+            if not self._writer:
+                raise SMIError(f"{self.name}: exclusive release without hold")
+            self._writer = False
+        else:
+            if self._readers <= 0:
+                raise SMIError(f"{self.name}: shared release without hold")
+            self._readers -= 1
+        self._wake()
+
+    def _wake(self) -> None:
+        """Grant the queue head: one writer, or the leading reader run."""
+        if self._writer or not self._queue:
+            return
+        if self._queue[0][0] == "x":
+            if self._readers == 0:
+                _, ev = self._queue.popleft()
+                self._grant(True)
+                ev.succeed()
+            return
+        while self._queue and self._queue[0][0] == "s":
+            _, ev = self._queue.popleft()
+            self._grant(False)
+            ev.succeed()
+
+    @property
+    def locked(self) -> bool:
+        return self._writer or self._readers > 0
+
+    @property
+    def readers(self) -> int:
+        return self._readers
+
+    @property
+    def write_locked(self) -> bool:
+        return self._writer
 
 
 class SMIBarrier:

@@ -1,0 +1,44 @@
+"""repro.svc: an RMA-backed sharded key-value service on the simulated stack.
+
+The paper's closing argument is that transparent remote memory access
+turns one-sided communication into a first-class programming model.
+This package is that argument exercised end to end: a key-value service
+whose servers are *completely passive* — every read, write, and counter
+increment is a client-side MPI-2 one-sided operation (seqlock-validated
+gets, ``fetch_and_op`` claim/publish writes, handler-serialized
+accumulates), with passive-target reader–writer locks as the contention
+fallback.
+
+Layers:
+
+* :mod:`repro.svc.shard` — deterministic key -> (shard, slot) placement
+  plus hot-shard accounting;
+* :mod:`repro.svc.store` — the :class:`RmaKvStore` slot protocol;
+* :mod:`repro.svc.workload` — seeded uniform/zipfian op streams and the
+  host-side replay oracle;
+* :mod:`repro.svc.driver` — cluster assembly, metrics wiring,
+  verification, and the JSON report;
+* :mod:`repro.svc.cli` — the ``repro-svc`` command.
+
+See ``docs/SERVICE.md`` for the slot layout and consistency story.
+"""
+
+from .driver import ServiceConfig, run_service
+from .shard import ShardMap, hash_key, mix64
+from .store import RmaKvStore, SvcInstruments, slot_bytes
+from .workload import Op, WorkloadSpec, client_ops, replay
+
+__all__ = [
+    "Op",
+    "RmaKvStore",
+    "ServiceConfig",
+    "ShardMap",
+    "SvcInstruments",
+    "WorkloadSpec",
+    "client_ops",
+    "hash_key",
+    "mix64",
+    "replay",
+    "run_service",
+    "slot_bytes",
+]

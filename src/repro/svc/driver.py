@@ -1,0 +1,185 @@
+"""The service driver: N client ranks against M passive server shards.
+
+:func:`run_service` builds a cluster, carves the first ``n_servers``
+ranks into window-part shards, runs every client's seeded op stream
+through an :class:`~repro.svc.store.RmaKvStore`, and returns one flat,
+JSON-ready report.  Everything quantitative in the report — throughput,
+latency percentiles, fault counts — is read out of the cluster's
+:class:`~repro.obs.MetricsRegistry` snapshot, so the service numbers and
+the observability layer cannot drift apart.
+
+Correctness is checked in-run: counter increments commute, so the final
+counter values are exact under any interleaving; after the workload the
+first client rank reads every counter back (under shared passive-target
+locks) and compares against the host-side :func:`~repro.svc.workload.replay`
+oracle.  ``report["verified"]`` is the headline result.
+
+Determinism: the simulation is a DES and the workload is seeded, so the
+whole report — timings included — is bit-identical for a given
+(config, policy, fault plan) triple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cluster import Cluster
+from ..hardware.sci.faults import FaultPlan
+from ..mpi.transport.policy import TransferPolicy
+from .shard import ShardMap
+from .store import RmaKvStore, SvcInstruments, slot_bytes
+from .workload import WorkloadSpec, client_ops, replay
+
+__all__ = ["ServiceConfig", "run_service", "SVC_COLLECTOR_METRICS"]
+
+#: Shard-load metrics pulled from the :class:`ShardMap` at snapshot time.
+SVC_COLLECTOR_METRICS = ("svc.shard_ops", "svc.hot_shards",
+                         "svc.shard_imbalance")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Cluster-side shape of the service (the workload is separate)."""
+
+    n_servers: int = 2
+    n_clients: int = 2
+    slots_per_shard: int = 64
+    counter_slots: int = 16
+    hot_factor: float = 2.0
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+
+    def __post_init__(self):
+        if self.n_servers < 1:
+            raise ValueError("need at least one server rank")
+        if self.n_clients < 1:
+            raise ValueError("need at least one client rank")
+
+    def describe(self) -> dict:
+        return {
+            "n_servers": self.n_servers,
+            "n_clients": self.n_clients,
+            "slots_per_shard": self.slots_per_shard,
+            "counter_slots": self.counter_slots,
+            "hot_factor": self.hot_factor,
+        }
+
+
+def _register_shard_collector(registry, shards: ShardMap) -> None:
+    registry.register_collector(
+        list(SVC_COLLECTOR_METRICS),
+        lambda: {
+            "svc.shard_ops": shards.total_ops(),
+            "svc.hot_shards": len(shards.hot_shards()),
+            "svc.shard_imbalance": shards.imbalance(),
+        },
+    )
+
+
+def run_service(config: ServiceConfig,
+                policy: Optional[TransferPolicy] = None,
+                faults: Optional[FaultPlan] = None) -> dict:
+    """Run the service once; returns the JSON-ready report."""
+    spec = config.workload
+    n_servers, n_clients = config.n_servers, config.n_clients
+    cluster = Cluster(n_nodes=n_servers + n_clients, policy=policy,
+                      faults=faults)
+    registry = cluster.metrics
+    shards = ShardMap(list(range(n_servers)), config.slots_per_shard,
+                      counter_slots=config.counter_slots,
+                      hot_factor=config.hot_factor)
+    instruments = SvcInstruments.registered(registry)
+    _register_shard_collector(registry, shards)
+
+    streams = [
+        client_ops(spec, cid, max_counter_keys=shards.max_counter_keys)
+        for cid in range(n_clients)
+    ]
+    expected = replay(streams)
+    shard_bytes = config.slots_per_shard * slot_bytes(spec.value_size)
+    mismatches: list[dict] = []
+
+    def program(ctx):
+        rank = ctx.comm.rank
+        is_server = rank < n_servers
+        # Servers expose their shard's slot table; clients expose a token
+        # part (window creation is collective, every rank contributes).
+        size = shard_bytes if is_server else 8
+        win = yield from ctx.comm.win_create(size, shared=True)
+        if is_server:
+            win.local_view()[:] = 0
+        yield from win.fence()
+
+        ops_done = 0
+        if not is_server:
+            store = RmaKvStore(win, shards, spec.value_size,
+                               instruments=instruments)
+            for op in streams[rank - n_servers]:
+                if spec.think_time > 0.0:
+                    yield ctx.cluster.engine.timeout(spec.think_time)
+                if op.kind == "get":
+                    yield from store.get(op.key)
+                elif op.kind == "put":
+                    yield from store.put(op.key, op.value)
+                else:
+                    yield from store.incr(op.counter_id, op.delta)
+                ops_done += 1
+        yield from win.fence()
+
+        if rank == n_servers:  # first client verifies the counter oracle
+            store = RmaKvStore(win, shards, spec.value_size,
+                               instruments=instruments)
+            for counter_id in sorted(expected):
+                target = shards.rank_of(shards.locate_counter(counter_id)[0])
+                yield from win.lock(target, exclusive=False)
+                actual = yield from store.get_counter(counter_id)
+                yield from win.unlock(target)
+                if actual != expected[counter_id]:
+                    mismatches.append({
+                        "counter": counter_id,
+                        "expected": expected[counter_id],
+                        "actual": actual,
+                    })
+        yield from win.fence()
+        return ops_done
+
+    run = cluster.run(program)
+    total_ops = sum(run.results)
+    snap = registry.snapshot()
+
+    def latency(kind: str) -> dict:
+        prefix = f"svc.{kind}_latency_us"
+        return {
+            "count": snap[f"{prefix}.count"],
+            "mean": snap[f"{prefix}.mean"],
+            "p50": snap[f"{prefix}.p50"],
+            "p95": snap[f"{prefix}.p95"],
+            "p99": snap[f"{prefix}.p99"],
+        }
+
+    elapsed = run.elapsed
+    return {
+        "service": config.describe(),
+        "workload": spec.describe(),
+        "total_ops": total_ops,
+        "elapsed_us": elapsed,
+        "throughput_ops": total_ops / elapsed * 1e6 if elapsed else 0.0,
+        "latency_us": {
+            "read": latency("read"),
+            "write": latency("write"),
+            "incr": latency("incr"),
+        },
+        "verified": not mismatches,
+        "counter_mismatches": mismatches,
+        "counters_checked": len(expected),
+        "faults": {
+            "injected": snap["faults.injected"],
+            "fallbacks": snap["recovery.fallbacks"],
+        },
+        "shards": {
+            "ops": snap["svc.shard_ops"],
+            "hot": snap["svc.hot_shards"],
+            "imbalance": snap["svc.shard_imbalance"],
+        },
+        "metrics": snap,
+    }

@@ -1,0 +1,122 @@
+"""Shard placement for the RMA key-value service.
+
+A :class:`ShardMap` spreads slots across the window parts of the server
+ranks.  Placement must be *deterministic across runs and processes* —
+Python's built-in ``hash`` is salted per process, so keys are placed with
+:func:`mix64` (the splitmix64 finalizer), a fast 64-bit avalanche with
+measurably uniform low and high bits.
+
+Each shard's slot table reserves the first ``counter_slots`` slots for
+integer counters (addressed directly by counter id, no hashing, so the
+driver can verify exact final values) and hashes blob keys into the
+remaining slots.  The map also keeps per-shard op tallies — the
+``svc.shard_ops`` / ``svc.hot_shards`` / ``svc.shard_imbalance`` metrics
+are pulled from here by the registry collector in
+:mod:`repro.svc.driver`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ShardMap", "hash_key", "mix64"]
+
+_MASK = (1 << 64) - 1
+
+
+def mix64(x: int) -> int:
+    """splitmix64 finalizer: a deterministic 64-bit avalanche."""
+    x &= _MASK
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+def hash_key(key: str) -> int:
+    """Nonzero 64-bit hash of ``key``, stable across runs and processes.
+
+    The slot protocol reserves hash word 0 for "empty slot", so a key
+    that lands on 0 is nudged to 1.
+    """
+    h = 0xCBF29CE484222325  # FNV-1a offset basis
+    for byte in key.encode("utf-8"):
+        h = ((h ^ byte) * 0x100000001B3) & _MASK
+    h = mix64(h)
+    return h if h != 0 else 1
+
+
+class ShardMap:
+    """Key -> (shard, slot) placement plus per-shard load accounting."""
+
+    def __init__(self, server_ranks: list[int], slots_per_shard: int,
+                 counter_slots: int = 16, hot_factor: float = 2.0):
+        if not server_ranks:
+            raise ValueError("need at least one server rank")
+        if counter_slots >= slots_per_shard:
+            raise ValueError(
+                f"counter_slots ({counter_slots}) must leave blob slots "
+                f"(slots_per_shard={slots_per_shard})"
+            )
+        if hot_factor <= 1.0:
+            raise ValueError(f"hot_factor must exceed 1.0, got {hot_factor}")
+        self.server_ranks = list(server_ranks)
+        self.slots_per_shard = slots_per_shard
+        self.counter_slots = counter_slots
+        self.hot_factor = hot_factor
+        #: Ops routed to each shard (fed to the svc.* shard collectors).
+        self.op_counts = [0] * len(server_ranks)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.server_ranks)
+
+    @property
+    def max_counter_keys(self) -> int:
+        """Counter ids [0, this) map to distinct slots (no aliasing)."""
+        return self.counter_slots * self.n_shards
+
+    def locate_blob(self, key: str) -> tuple[int, int]:
+        """The (shard, slot) a blob key lives in.
+
+        Shard from the hash's low bits, slot from its high bits — the two
+        decisions stay independent, so all of a shard's blob slots are
+        reachable whatever the shard count.
+        """
+        h = hash_key(key)
+        shard = h % self.n_shards
+        blob_slots = self.slots_per_shard - self.counter_slots
+        slot = self.counter_slots + (h >> 20) % blob_slots
+        return shard, slot
+
+    def locate_counter(self, counter_id: int) -> tuple[int, int]:
+        """The (shard, slot) of an integer counter (round-robin, exact)."""
+        if counter_id < 0:
+            raise ValueError(f"negative counter id {counter_id}")
+        shard = counter_id % self.n_shards
+        slot = (counter_id // self.n_shards) % self.counter_slots
+        return shard, slot
+
+    def rank_of(self, shard: int) -> int:
+        return self.server_ranks[shard]
+
+    # -- load accounting (pulled by the svc metrics collector) ----------------
+
+    def record(self, shard: int) -> None:
+        self.op_counts[shard] += 1
+
+    def total_ops(self) -> int:
+        return sum(self.op_counts)
+
+    def imbalance(self) -> float:
+        """Hottest shard's ops over the per-shard mean (1.0 = balanced)."""
+        total = self.total_ops()
+        if total == 0:
+            return 0.0
+        return max(self.op_counts) * self.n_shards / total
+
+    def hot_shards(self) -> list[int]:
+        """Shards whose op count exceeds ``hot_factor`` x the mean."""
+        total = self.total_ops()
+        if total == 0:
+            return []
+        threshold = self.hot_factor * total / self.n_shards
+        return [s for s, n in enumerate(self.op_counts) if n > threshold]

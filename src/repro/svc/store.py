@@ -1,0 +1,276 @@
+"""``RmaKvStore``: a key-value store on one-sided communication only.
+
+Servers are *passive*: after creating their window part they never touch
+the data plane again.  Every service operation is executed by the client
+through the MPI-2 one-sided layer — exactly the paper's argument that
+transparent remote memory access makes the target CPU optional:
+
+* **reads** are seqlock-validated remote gets.  The whole slot is
+  fetched with one small direct ``Win.get`` (the transfer policy's
+  ``small_rma_threshold`` keeps it a transparent remote load), then the
+  8-byte version word is re-read: an *odd* version means a write was in
+  flight, a *changed* version means the slot moved underneath us — both
+  retry.  Persistent instability falls back to a shared passive-target
+  lock (``Win.lock(exclusive=False)``).
+* **writes** claim the slot optimistically with one
+  ``Win.fetch_and_op(op="bor")`` that sets the version's busy bit: an
+  even previous value means the claim won (the word is now odd), an odd
+  one means another writer holds it.  The value and key-hash words are
+  then published with direct puts, flushed, and the version released to
+  ``v + 2`` with an accumulate — the target-side handler serializes all
+  atomics, so claims never race.  Repeated claim conflicts fall back to
+  an exclusive passive-target lock.
+* **counters** are plain ``Win.accumulate(op="sum")`` increments —
+  commutative, handler-serialized, and therefore exact under any client
+  interleaving (the driver's verification pass depends on this).
+
+Slot layout (``SLOT_HEADER`` = 16 bytes)::
+
+    [0:8)   key-hash word  (``hash_key``; 0 = empty slot)
+    [8:16)  version word   (seqlock: odd = write in progress)
+    [16:..) value bytes    (fixed ``value_size``, 8-byte padded)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..mpi.datatypes.basic import LONG, UNSIGNED_LONG
+from ..obs.metrics import Counter, Histogram
+from .shard import ShardMap, hash_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..mpi.osc.window import Win
+
+__all__ = ["RmaKvStore", "SvcInstruments", "SLOT_HEADER",
+           "SVC_COUNTERS", "SVC_HISTOGRAMS", "slot_bytes"]
+
+#: Bytes of slot metadata ahead of the value: hash word + version word.
+SLOT_HEADER = 16
+HASH_OFF = 0
+VER_OFF = 8
+VAL_OFF = 16
+
+#: Store event counters (registered as ``svc.<name>``).
+SVC_COUNTERS = (
+    "reads", "read_misses", "read_retries", "read_fallbacks", "read_giveups",
+    "writes", "write_fast", "write_conflicts", "write_fallbacks", "incrs",
+)
+
+#: Store latency histograms (registered as ``svc.<name>``).
+SVC_HISTOGRAMS = ("read_latency_us", "write_latency_us", "incr_latency_us")
+
+
+def slot_bytes(value_size: int) -> int:
+    """Total slot size: header + value padded to 8-byte word alignment."""
+    return SLOT_HEADER + ((value_size + 7) // 8) * 8
+
+
+class SvcInstruments:
+    """The store's metric instruments, shared by every client's store."""
+
+    def __init__(self, counters: dict[str, Counter],
+                 histograms: dict[str, Histogram]):
+        self.counters = counters
+        self.histograms = histograms
+
+    @classmethod
+    def registered(cls, registry) -> "SvcInstruments":
+        """Create every instrument inside ``registry`` (``svc.*`` names)."""
+        return cls(
+            {name: registry.counter(f"svc.{name}", unit="1",
+                                    owner="repro.svc.store")
+             for name in SVC_COUNTERS},
+            {name: registry.histogram(f"svc.{name}", unit="us",
+                                      owner="repro.svc.store")
+             for name in SVC_HISTOGRAMS},
+        )
+
+    @classmethod
+    def standalone(cls) -> "SvcInstruments":
+        """Unregistered instruments (unit tests without a cluster registry)."""
+        return cls(
+            {name: Counter(f"svc.{name}") for name in SVC_COUNTERS},
+            {name: Histogram(f"svc.{name}") for name in SVC_HISTOGRAMS},
+        )
+
+
+def _word(data, offset: int = 0, signed: bool = False) -> int:
+    """The 8-byte little-endian word at ``offset`` of a fetched array."""
+    raw = np.ascontiguousarray(np.asarray(data)).view(np.uint8)
+    return int.from_bytes(raw[offset:offset + 8].tobytes(), "little",
+                          signed=signed)
+
+
+class RmaKvStore:
+    """Client-side handle on the sharded slot tables (all DES generators)."""
+
+    def __init__(self, win: "Win", shards: ShardMap, value_size: int,
+                 instruments: Optional[SvcInstruments] = None,
+                 max_read_retries: int = 4, max_claim_retries: int = 3,
+                 backoff_us: float = 2.0):
+        if value_size < 1:
+            raise ValueError(f"value_size must be >= 1, got {value_size}")
+        self.win = win
+        self.shards = shards
+        self.value_size = value_size
+        #: Value field padded so every slot word stays 8-byte aligned.
+        self.slot_size = slot_bytes(value_size)
+        self.m = instruments or SvcInstruments.standalone()
+        self.max_read_retries = max_read_retries
+        self.max_claim_retries = max_claim_retries
+        self.backoff_us = backoff_us
+        self.engine = win.engine
+
+    # -- placement ------------------------------------------------------------
+
+    def _blob_addr(self, key: str) -> tuple[int, int, int]:
+        """(target rank, slot base displacement, key hash) of a blob key."""
+        shard, slot = self.shards.locate_blob(key)
+        self.shards.record(shard)
+        return self.shards.rank_of(shard), slot * self.slot_size, hash_key(key)
+
+    def _counter_addr(self, counter_id: int) -> tuple[int, int]:
+        shard, slot = self.shards.locate_counter(counter_id)
+        self.shards.record(shard)
+        return self.shards.rank_of(shard), slot * self.slot_size
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, key: str):
+        """Seqlock-validated read; returns the value bytes or ``None``."""
+        target, base, want = self._blob_addr(key)
+        device = self.win.device
+        self.m.counters["reads"].inc()
+        device._trace("svc.get.begin", key=key, target=target)
+        t0 = self.engine.now
+        value = yield from self._read_slot(target, base, want)
+        self.m.histograms["read_latency_us"].observe(self.engine.now - t0)
+        device._trace("svc.get.end", key=key,
+                      hit=value is not None)
+        return value
+
+    def _read_once(self, target: int, base: int, want: int):
+        """One seqlock read attempt: (stable, value_or_None)."""
+        blob = yield from self.win.get(self.slot_size, target, base)
+        raw = np.asarray(blob)
+        v1 = int.from_bytes(raw[VER_OFF:VER_OFF + 8].tobytes(), "little")
+        if v1 & 1:  # write in progress
+            return False, None
+        ver = yield from self.win.get(8, target, base + VER_OFF)
+        if _word(ver) != v1:  # slot changed underneath the read
+            return False, None
+        stored = int.from_bytes(raw[HASH_OFF:HASH_OFF + 8].tobytes(), "little")
+        if stored != want:  # empty slot, or another key hashed here
+            return True, None
+        return True, bytes(raw[VAL_OFF:VAL_OFF + self.value_size])
+
+    def _read_slot(self, target: int, base: int, want: int):
+        for attempt in range(self.max_read_retries):
+            stable, value = yield from self._read_once(target, base, want)
+            if stable:
+                if value is None:
+                    self.m.counters["read_misses"].inc()
+                return value
+            self.m.counters["read_retries"].inc()
+            yield self.engine.timeout(self.backoff_us * (attempt + 1))
+        # Persistently unstable slot: read under a shared passive-target
+        # lock.  Lock-free fast-path writers may still bump the version,
+        # so validation stays bounded; a slot unstable even here is
+        # counted as a give-up and reported as a miss.
+        self.m.counters["read_fallbacks"].inc()
+        yield from self.win.lock(target, exclusive=False)
+        value = None
+        for attempt in range(self.max_read_retries):
+            stable, value = yield from self._read_once(target, base, want)
+            if stable:
+                break
+            yield self.engine.timeout(self.backoff_us * (attempt + 1))
+        else:
+            self.m.counters["read_giveups"].inc()
+        yield from self.win.unlock(target)
+        return value
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(self, key: str, value: bytes):
+        """Publish ``value`` under ``key`` (optimistic, lock fallback)."""
+        if len(value) != self.value_size:
+            raise ValueError(
+                f"value must be exactly {self.value_size} B, got {len(value)}"
+            )
+        target, base, h = self._blob_addr(key)
+        device = self.win.device
+        self.m.counters["writes"].inc()
+        device._trace("svc.put.begin", key=key, target=target)
+        t0 = self.engine.now
+        claimed = False
+        for attempt in range(self.max_claim_retries):
+            if (yield from self._claim(target, base)):
+                claimed = True
+                break
+            self.m.counters["write_conflicts"].inc()
+            yield self.engine.timeout(self.backoff_us * (attempt + 1))
+        if claimed:
+            self.m.counters["write_fast"].inc()
+            yield from self._publish(target, base, h, value)
+        else:
+            # Contended slot: serialize behind an exclusive passive-target
+            # lock.  The claim loop remains (fast-path writers do not take
+            # the lock) but is now guaranteed to drain.
+            self.m.counters["write_fallbacks"].inc()
+            yield from self.win.lock(target, exclusive=True)
+            while not (yield from self._claim(target, base)):
+                yield self.engine.timeout(self.backoff_us)
+            yield from self._publish(target, base, h, value)
+            yield from self.win.unlock(target)
+        self.m.histograms["write_latency_us"].observe(self.engine.now - t0)
+        device._trace("svc.put.end", key=key, fast=claimed)
+
+    def _claim(self, target: int, base: int):
+        """Try to set the version busy bit; True iff this writer won it."""
+        prev = yield from self.win.fetch_and_op(
+            np.array([1], dtype=np.uint64), target, base + VER_OFF,
+            op="bor", datatype=UNSIGNED_LONG,
+        )
+        return _word(prev) % 2 == 0
+
+    def _publish(self, target: int, base: int, h: int, value: bytes):
+        """Write value + hash into a claimed slot, then release the seqlock."""
+        payload = np.frombuffer(value, dtype=np.uint8)
+        yield from self.win.put(payload, target, base + VAL_OFF)
+        hash_word = np.frombuffer(h.to_bytes(8, "little"), dtype=np.uint8)
+        yield from self.win.put(hash_word, target, base + HASH_OFF)
+        # The data stores must be globally visible before the version
+        # release makes them readable (seqlock publication order).
+        yield from self.win.flush(target)
+        yield from self.win.accumulate(
+            np.array([1], dtype=np.uint64), target, base + VER_OFF,
+            op="sum", datatype=UNSIGNED_LONG,
+        )
+        yield from self.win.flush(target)
+
+    # -- counters -------------------------------------------------------------
+
+    def incr(self, counter_id: int, delta: int = 1):
+        """Add ``delta`` to an integer counter (handler-serialized, exact)."""
+        target, base = self._counter_addr(counter_id)
+        device = self.win.device
+        self.m.counters["incrs"].inc()
+        device._trace("svc.incr.begin", counter=counter_id, target=target)
+        t0 = self.engine.now
+        yield from self.win.accumulate(
+            np.array([delta], dtype=np.int64), target, base + VAL_OFF,
+            op="sum", datatype=LONG,
+        )
+        yield from self.win.flush(target)
+        self.m.histograms["incr_latency_us"].observe(self.engine.now - t0)
+        device._trace("svc.incr.end", counter=counter_id)
+
+    def get_counter(self, counter_id: int):
+        """Read a counter's current value (quiescent reads are exact)."""
+        target, base = self._counter_addr(counter_id)
+        data = yield from self.win.get(8, target, base + VAL_OFF)
+        return _word(data, signed=True)

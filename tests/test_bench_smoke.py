@@ -60,6 +60,9 @@ class TestBenchCompare:
         assert bc.classify("x_us", 100.0, 50.0, 0.2)[0] == "improved"
         assert bc.classify("x_mibs", 100.0, 70.0, 0.2)[0] == "regression"
         assert bc.classify("x_mibs", 100.0, 300.0, 0.2)[0] == "improved"
+        assert bc.classify("x_ops", 100.0, 70.0, 0.2)[0] == "regression"
+        assert bc.classify("x_ops", 100.0, 300.0, 0.2)[0] == "improved"
+        assert bc.classify("x_ops", 100.0, 95.0, 0.2)[0] == "ok"
         assert bc.classify("x_other", 100.0, 130.0, 0.2)[0] == "regression"
         assert bc.classify("x_other", 100.0, 70.0, 0.2)[0] == "regression"
         assert bc.classify("x_other", 100.0, 110.0, 0.2)[0] == "ok"

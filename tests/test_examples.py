@@ -11,7 +11,7 @@ EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 @pytest.mark.parametrize(
     "script",
     ["quickstart.py", "ocean_halo.py", "sparse_matrix_rma.py", "ring_saturation.py",
-     "stencil_trace.py", "work_stealing.py"],
+     "stencil_trace.py", "work_stealing.py", "kv_service.py"],
 )
 def test_example_runs(script, capsys):
     runpy.run_path(str(EXAMPLES / script), run_name="__main__")

@@ -76,6 +76,25 @@ class TestMetricNames:
         for name in SMOKE_METRICS:
             assert f"`{name}`" in DOC, name
 
+    def test_every_svc_metric_documented(self):
+        """The service registers its instruments outside build_registry,
+        so the cluster-registry guard above never sees them — enumerate
+        them from the svc name tuples instead."""
+        from repro.obs.metrics import _HISTOGRAM_FIELDS
+        from repro.svc.driver import SVC_COLLECTOR_METRICS
+        from repro.svc.store import SVC_COUNTERS, SVC_HISTOGRAMS
+
+        names = [f"svc.{counter}" for counter in SVC_COUNTERS]
+        names += [f"svc.{hist}.{field}" for hist in SVC_HISTOGRAMS
+                  for field in _HISTOGRAM_FIELDS]
+        names += list(SVC_COLLECTOR_METRICS)
+        assert len(names) >= 35
+        for name in names:
+            assert f"`{name}`" in DOC, (
+                f"svc metric {name!r} is registered by run_service but "
+                "missing from docs/OBSERVABILITY.md"
+            )
+
 
 class TestDocumentationMap:
     def test_readme_links_every_doc(self):
@@ -115,6 +134,19 @@ class TestCliJsonPurity:
         reports = json.loads(out)
         assert reports[0]["suite"] == "pt2pt" and reports[0]["ok"]
         assert "cells" in err  # the human report moved to stderr
+
+    def test_repro_svc_json_stdout_is_pure(self, capsys):
+        from repro.svc.cli import main
+
+        rc = main(["--servers", "1", "--clients", "1", "--ops", "20",
+                   "--keys", "8", "--slots", "16", "--counter-slots", "4",
+                   "--counter-keys", "4", "--json", "-"])
+        assert rc == 0
+        out, err = capsys.readouterr()
+        report = json.loads(out)  # stdout is exactly one JSON document
+        assert report["verified"]
+        assert report["throughput_ops"] > 0
+        assert "throughput" in err  # the human summary moved to stderr
 
     def test_repro_trace_writes_artifacts(self, tmp_path, capsys):
         from repro.obs.cli import main

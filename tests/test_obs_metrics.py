@@ -26,7 +26,7 @@ class TestInstruments:
         g.set(2.0)
         assert g.sample() == {"a.level": 2.0}
 
-    def test_histogram_expands_to_five_keys(self):
+    def test_histogram_expands_to_eight_keys(self):
         h = Histogram("a.size")
         for v in (1.0, 3.0, 2.0):
             h.observe(v)
@@ -36,10 +36,39 @@ class TestInstruments:
             "a.size.min": 1.0,
             "a.size.max": 3.0,
             "a.size.mean": 2.0,
+            "a.size.p50": 2.0,
+            "a.size.p95": pytest.approx(2.9),
+            "a.size.p99": pytest.approx(2.98),
         }
 
     def test_histogram_empty_is_all_zero(self):
         assert set(Histogram("a").sample().values()) == {0}
+
+    def test_histogram_percentiles_exact(self):
+        h = Histogram("lat")
+        for v in range(1, 101):  # 1..100, observed out of order
+            h.observe(float(101 - v))
+        assert h.percentile(0.0) == 1.0
+        assert h.percentile(1.0) == 100.0
+        assert h.percentile(0.50) == pytest.approx(50.5)
+        assert h.percentile(0.95) == pytest.approx(95.05)
+        assert h.percentile(0.99) == pytest.approx(99.01)
+
+    def test_histogram_percentile_single_value_and_bounds(self):
+        h = Histogram("lat")
+        h.observe(7.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 7.0
+        with pytest.raises(MetricError):
+            h.percentile(1.5)
+
+    def test_histogram_observe_after_percentile(self):
+        h = Histogram("lat")
+        h.observe(10.0)
+        h.observe(20.0)
+        assert h.percentile(0.5) == 15.0
+        h.observe(0.0)  # arrives unsorted after a percentile query
+        assert h.percentile(0.5) == 10.0
 
     def test_invalid_names_rejected(self):
         for bad in ("", "Upper.case", "trailing.", ".leading", "sp ace", "a..b"):
@@ -87,10 +116,10 @@ class TestRegistry:
         reg.histogram("h")
         reg.register_collector(["z"], lambda: {"z": 0})
         assert reg.names() == ["a", "h.count", "h.sum", "h.min", "h.max",
-                              "h.mean", "z"]
-        assert "a" in reg and "h.count" in reg and "z" in reg
+                              "h.mean", "h.p50", "h.p95", "h.p99", "z"]
+        assert "a" in reg and "h.count" in reg and "h.p99" in reg and "z" in reg
         assert "missing" not in reg
-        assert len(reg) == 7
+        assert len(reg) == 10
         assert reg.get("a") is c
         with pytest.raises(MetricError):
             reg.get("z")  # collector names have no instrument object

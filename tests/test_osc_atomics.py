@@ -1,0 +1,188 @@
+"""Atomics interleaving tests: many ranks storming one target window.
+
+The service layer's correctness rests on two properties of the OSC
+layer, checked here under deliberately scrambled interleavings (each
+rank jitters by a seeded, rank-dependent delay before every operation):
+
+* ``accumulate`` / ``fetch_and_op`` are serialized by the target-side
+  handler, so concurrent increments from every rank sum exactly (and
+  every ``fetch_and_op`` observes a *distinct* intermediate value);
+* passive-target lock/unlock epochs are mutually exclusive, so
+  read-modify-write storms under exclusive locks lose no updates, and
+  shared-mode holders interleave with exclusive ones without corruption.
+
+Each test is parametrized over seeds (the seed only perturbs *timing*),
+and the ``faults``-marked variants rerun the storms under a lively
+seeded :class:`~repro.hardware.sci.faults.FaultPlan` — CI's fault-matrix
+job picks them up via ``-m faults -k "osc and seed<N>"``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.hardware.sci.faults import FaultPlan
+from repro.mpi.datatypes import LONG, UNSIGNED_LONG
+
+SEEDS = [1, 2, 3]
+
+
+def jitter(rng):
+    """A small seeded delay: scrambles rank interleavings per seed."""
+    return float(rng.uniform(0.0, 25.0))
+
+
+def fault_plan(seed):
+    return FaultPlan(seed=seed, transient_rate=0.15, torn_rate=0.1,
+                     stall_rate=0.05, stall_time=300.0)
+
+
+def run_fetch_and_op_storm(seed, faults=None, n=4, rounds=6):
+    """Every non-target rank bumps a counter ``rounds`` times."""
+
+    def program(ctx):
+        comm = ctx.comm
+        rng = np.random.default_rng((seed, comm.rank))
+        win = yield from comm.win_create(8, shared=True)
+        win.local_view()[:] = 0
+        yield from win.fence()
+        observed = []
+        if comm.rank != 0:
+            for _ in range(rounds):
+                yield ctx.cluster.engine.timeout(jitter(rng))
+                prev = yield from win.fetch_and_op(
+                    np.array([1], dtype=np.int64), 0, 0,
+                    op="sum", datatype=LONG,
+                )
+                observed.append(int(np.asarray(prev).view(np.int64)[0]))
+        yield from win.fence()
+        if comm.rank == 0:
+            return int(win.local_view().view(np.int64)[0])
+        return observed
+
+    run = Cluster(n_nodes=n, faults=faults).run(program)
+    return run.results
+
+
+def run_lock_storm(seed, faults=None, n=4, rounds=5):
+    """Exclusive-lock read-modify-write increments on rank 0's window."""
+
+    def program(ctx):
+        comm = ctx.comm
+        rng = np.random.default_rng((seed, comm.rank))
+        win = yield from comm.win_create(8, shared=True)
+        win.local_view()[:] = 0
+        yield from win.fence()
+        if comm.rank != 0:
+            for _ in range(rounds):
+                yield ctx.cluster.engine.timeout(jitter(rng))
+                yield from win.lock(0)
+                current = yield from win.get(8, 0, 0)
+                value = int.from_bytes(current.tobytes(), "little")
+                yield from win.put(
+                    np.array([value + 1], dtype=np.int64), 0, 0
+                )
+                yield from win.unlock(0)
+        yield from win.fence()
+        return int(win.local_view().view(np.int64)[0])
+
+    return Cluster(n_nodes=n, faults=faults).run(program)
+
+
+@pytest.mark.parametrize("seed", SEEDS, ids=[f"seed{s}" for s in SEEDS])
+class TestFetchAndOpStorm:
+    def test_exact_final_count(self, seed):
+        results = run_fetch_and_op_storm(seed)
+        assert results[0] == 3 * 6  # (n - 1) ranks x rounds, no lost updates
+
+    def test_every_intermediate_distinct(self, seed):
+        """Handler serialization: each fetch_and_op sees a unique prior
+        value, and together they cover exactly [0, total)."""
+        results = run_fetch_and_op_storm(seed)
+        observed = sorted(v for vs in results[1:] for v in vs)
+        assert observed == list(range(3 * 6))
+
+    def test_bitwise_claim_wins_once(self, seed):
+        """fetch_and_op(op="bor") of one bit: exactly one rank observes
+        the bit clear — the svc write-claim idiom."""
+
+        def program(ctx):
+            comm = ctx.comm
+            rng = np.random.default_rng((seed, comm.rank))
+            win = yield from comm.win_create(8, shared=True)
+            win.local_view()[:] = 0
+            yield from win.fence()
+            won = False
+            if comm.rank != 0:
+                yield ctx.cluster.engine.timeout(jitter(rng))
+                prev = yield from win.fetch_and_op(
+                    np.array([1], dtype=np.uint64), 0, 0,
+                    op="bor", datatype=UNSIGNED_LONG,
+                )
+                won = int(np.asarray(prev).view(np.uint64)[0]) & 1 == 0
+            yield from win.fence()
+            return won
+
+        results = Cluster(n_nodes=4).run(program).results
+        assert sum(results[1:]) == 1
+
+
+@pytest.mark.parametrize("seed", SEEDS, ids=[f"seed{s}" for s in SEEDS])
+class TestLockStorm:
+    def test_exclusive_rmw_loses_no_updates(self, seed):
+        run = run_lock_storm(seed)
+        assert run.results[0] == 3 * 5  # (n - 1) ranks x rounds
+
+    def test_shared_and_exclusive_mix(self, seed):
+        """Readers under shared locks never see a torn intermediate while
+        writers increment both halves under exclusive locks."""
+
+        def program(ctx):
+            comm = ctx.comm
+            rng = np.random.default_rng((seed, comm.rank))
+            win = yield from comm.win_create(16, shared=True)
+            win.local_view()[:] = 0
+            yield from win.fence()
+            bad = 0
+            if comm.rank in (1, 2):  # writers: keep both words equal
+                for _ in range(4):
+                    yield ctx.cluster.engine.timeout(jitter(rng))
+                    yield from win.lock(0)
+                    current = yield from win.get(16, 0, 0)
+                    value = int.from_bytes(current.tobytes()[:8], "little")
+                    pair = np.array([value + 1, value + 1], dtype=np.int64)
+                    yield from win.put(pair, 0, 0)
+                    yield from win.unlock(0)
+            elif comm.rank == 3:  # reader: both words must always match
+                for _ in range(8):
+                    yield ctx.cluster.engine.timeout(jitter(rng))
+                    yield from win.lock(0, exclusive=False)
+                    current = yield from win.get(16, 0, 0)
+                    yield from win.unlock(0)
+                    lo = int.from_bytes(current.tobytes()[:8], "little")
+                    hi = int.from_bytes(current.tobytes()[8:], "little")
+                    bad += lo != hi
+            yield from win.fence()
+            if comm.rank == 0:
+                return int(win.local_view().view(np.int64)[0])
+            return bad
+
+        run = Cluster(n_nodes=4).run(program)
+        assert run.results[3] == 0  # no torn observation
+        assert run.results[0] == 2 * 4  # both writers' increments landed
+
+
+@pytest.mark.faults
+@pytest.mark.parametrize("seed", SEEDS, ids=[f"seed{s}" for s in SEEDS])
+class TestAtomicsUnderFaults:
+    """The same exactness guarantees with the fault injector running."""
+
+    def test_fetch_and_op_storm_exact(self, seed):
+        results = run_fetch_and_op_storm(seed, faults=fault_plan(seed))
+        assert results[0] == 3 * 6
+        observed = sorted(v for vs in results[1:] for v in vs)
+        assert observed == list(range(3 * 6))
+
+    def test_lock_storm_exact(self, seed):
+        run = run_lock_storm(seed, faults=fault_plan(seed))
+        assert run.results[0] == 3 * 5

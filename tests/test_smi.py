@@ -7,7 +7,7 @@ from repro._units import KiB, MiB
 from repro.hardware import Node
 from repro.hardware.sci import AccessRun, RingTopology, SCIFabric
 from repro.sim import Engine
-from repro.smi import SMIBarrier, SMIContext, SMIError, SMILock
+from repro.smi import SMIBarrier, SMIContext, SMIError, SMILock, SMIRWLock
 
 
 def make_context(rank_to_node=(0, 1, 2, 3), n_nodes=4):
@@ -119,6 +119,118 @@ class TestSMILock:
 
         eng.run_process(body())
         assert not lock.locked
+
+
+class TestSMIRWLock:
+    def test_shared_holders_overlap(self):
+        eng, ctx = make_context()
+        lock = SMIRWLock(ctx, home_rank=0)
+        held = []
+
+        def reader(rank, hold):
+            yield from lock.acquire(rank, exclusive=False)
+            t_in = eng.now
+            yield eng.timeout(hold)
+            t_out = eng.now
+            yield from lock.release(rank, exclusive=False)
+            held.append((t_in, t_out))
+
+        for rank in (1, 2, 3):
+            eng.process(reader(rank, 40.0))
+        eng.run()
+        assert lock.max_concurrent_shared == 3
+        # All three hold intervals overlap somewhere.
+        assert max(t for t, _ in held) < min(t for _, t in held)
+        assert not lock.locked
+
+    def test_exclusive_excludes_everyone(self):
+        eng, ctx = make_context()
+        lock = SMIRWLock(ctx, home_rank=0)
+        trace = []
+
+        def worker(rank, exclusive, hold):
+            yield from lock.acquire(rank, exclusive=exclusive)
+            trace.append(("acq", rank, eng.now))
+            yield eng.timeout(hold)
+            trace.append(("rel", rank, eng.now))
+            yield from lock.release(rank, exclusive=exclusive)
+
+        eng.process(worker(1, True, 50.0))
+        eng.process(worker(2, False, 10.0))
+        eng.process(worker(3, True, 10.0))
+        eng.run()
+        # Strict serialization: each acquire happens after the previous release.
+        events = sorted(trace, key=lambda t: t[2])
+        kinds = [e[0] for e in events]
+        assert kinds == ["acq", "rel"] * 3
+        assert [e[1] for e in events] == [1, 1, 2, 2, 3, 3]
+
+    def test_writer_not_starved_by_reader_stream(self):
+        """A writer queued behind active readers is granted before any
+        reader that arrived after it (FIFO starvation-freedom)."""
+        eng, ctx = make_context()
+        lock = SMIRWLock(ctx, home_rank=0)
+        grants = []
+
+        def reader(rank, start, hold):
+            yield eng.timeout(start)
+            yield from lock.acquire(rank, exclusive=False)
+            grants.append(("r", rank, eng.now))
+            yield eng.timeout(hold)
+            yield from lock.release(rank, exclusive=False)
+
+        def writer(rank, start, hold):
+            yield eng.timeout(start)
+            yield from lock.acquire(rank, exclusive=True)
+            grants.append(("w", rank, eng.now))
+            yield eng.timeout(hold)
+            yield from lock.release(rank, exclusive=True)
+
+        # Readers 1,2 acquire immediately; the writer arrives at t=20;
+        # readers 3,0 arrive later and must wait behind the writer even
+        # though the lock is in shared mode when they ask.
+        eng.process(reader(1, 0.0, 100.0))
+        eng.process(reader(2, 5.0, 100.0))
+        eng.process(writer(3, 20.0, 30.0))
+        eng.process(reader(0, 40.0, 10.0))
+        eng.run()
+        order = [(kind, rank) for kind, rank, _ in grants]
+        assert order[:2] == [("r", 1), ("r", 2)]
+        assert order[2] == ("w", 3), f"writer starved: {order}"
+        assert order[3] == ("r", 0)
+        assert lock.exclusive_grants == 1 and lock.shared_grants == 3
+
+    def test_release_without_hold_rejected(self):
+        eng, ctx = make_context()
+        lock = SMIRWLock(ctx, home_rank=0)
+        with pytest.raises(SMIError):
+            eng.run_process(lock.release(1, exclusive=True))
+        with pytest.raises(SMIError):
+            eng.run_process(lock.release(1, exclusive=False))
+
+    def test_contended_handover_costs_poll_latency(self):
+        """A contended shared->exclusive hand-over pays the spin poll."""
+        eng, ctx = make_context()
+        lock = SMIRWLock(ctx, home_rank=0)
+        times = {}
+
+        def reader(rank):
+            yield from lock.acquire(rank, exclusive=False)
+            yield eng.timeout(10.0)
+            yield from lock.release(rank, exclusive=False)
+            times["release"] = eng.now
+
+        def writer(rank):
+            yield eng.timeout(1.0)
+            yield from lock.acquire(rank, exclusive=True)
+            times["acquired"] = eng.now
+            yield from lock.release(rank, exclusive=True)
+
+        eng.process(reader(1))
+        eng.process(writer(2))
+        eng.run()
+        assert lock.contended_acquires == 1
+        assert times["acquired"] > times["release"]  # poll + set word
 
 
 class TestSMIBarrier:

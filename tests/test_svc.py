@@ -1,0 +1,373 @@
+"""Tests for the RMA key-value service (repro.svc).
+
+Covers the deterministic placement layer, the seeded workload generator,
+the slot protocol's semantics under concurrent clients (torn-read
+detection, counter exactness), and the driver's headline guarantee: the
+full JSON report is bit-identical across repeated runs for a given
+(workload, fault plan) pair — uniform and zipfian, faults on and off.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.hardware.sci.faults import FaultPlan
+from repro.mpi.flatten import reset_plan_cache
+from repro.svc import (
+    Op,
+    RmaKvStore,
+    ServiceConfig,
+    ShardMap,
+    SvcInstruments,
+    WorkloadSpec,
+    client_ops,
+    hash_key,
+    mix64,
+    replay,
+    run_service,
+    slot_bytes,
+)
+
+
+class TestShardMap:
+    def test_hash_is_stable_and_nonzero(self):
+        assert hash_key("alpha") == hash_key("alpha")
+        assert hash_key("alpha") != hash_key("beta")
+        for i in range(200):
+            assert hash_key(f"k{i}") != 0
+
+    def test_mix64_avalanche(self):
+        # Neighbouring inputs land far apart (no low-bit clustering).
+        outs = {mix64(i) & 0xFF for i in range(64)}
+        assert len(outs) > 40
+
+    def test_blob_placement_in_bounds(self):
+        shards = ShardMap([0, 1, 2], slots_per_shard=16, counter_slots=4)
+        for i in range(300):
+            shard, slot = shards.locate_blob(f"key-{i}")
+            assert 0 <= shard < 3
+            assert 4 <= slot < 16  # never a counter slot
+
+    def test_counter_placement_exact_and_disjoint(self):
+        shards = ShardMap([0, 1], slots_per_shard=8, counter_slots=3)
+        assert shards.max_counter_keys == 6
+        seen = set()
+        for cid in range(shards.max_counter_keys):
+            loc = shards.locate_counter(cid)
+            assert loc not in seen  # no aliasing below the cap
+            seen.add(loc)
+            assert loc[1] < 3
+
+    def test_load_accounting(self):
+        shards = ShardMap([0, 1], slots_per_shard=8, counter_slots=2,
+                          hot_factor=1.5)
+        assert shards.imbalance() == 0.0 and shards.hot_shards() == []
+        for _ in range(9):
+            shards.record(0)
+        shards.record(1)
+        assert shards.total_ops() == 10
+        assert shards.imbalance() == pytest.approx(1.8)
+        assert shards.hot_shards() == [0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardMap([], 8)
+        with pytest.raises(ValueError):
+            ShardMap([0], slots_per_shard=4, counter_slots=4)
+        with pytest.raises(ValueError):
+            ShardMap([0], 8, hot_factor=1.0)
+        with pytest.raises(ValueError):
+            ShardMap([0], 8).locate_counter(-1)
+
+
+class TestWorkload:
+    def test_streams_are_deterministic(self):
+        spec = WorkloadSpec(seed=7, ops_per_client=50)
+        assert client_ops(spec, 0) == client_ops(spec, 0)
+        assert client_ops(spec, 0) != client_ops(spec, 1)
+
+    def test_op_mix_respects_fractions(self):
+        spec = WorkloadSpec(read_fraction=1.0, incr_fraction=0.0,
+                            ops_per_client=40)
+        assert all(op.kind == "get" for op in client_ops(spec, 0))
+        spec = WorkloadSpec(read_fraction=0.0, incr_fraction=1.0,
+                            ops_per_client=40)
+        assert all(op.kind == "incr" for op in client_ops(spec, 0))
+
+    def test_zipfian_skews_toward_head_keys(self):
+        base = dict(ops_per_client=2000, read_fraction=1.0,
+                    incr_fraction=0.0, n_keys=64, seed=3)
+        uni = client_ops(WorkloadSpec(dist="uniform", **base), 0)
+        zipf = client_ops(WorkloadSpec(dist="zipfian", zipf_s=1.3, **base), 0)
+
+        def head_share(ops):
+            head = sum(op.key == "key-0" for op in ops)
+            return head / len(ops)
+
+        assert head_share(zipf) > 4 * head_share(uni)
+
+    def test_replay_oracle_sums_increments(self):
+        streams = [
+            [Op("incr", "", counter_id=0, delta=2),
+             Op("put", "k", value=b"x")],
+            [Op("incr", "", counter_id=0, delta=3),
+             Op("incr", "", counter_id=1, delta=1)],
+        ]
+        assert replay(streams) == {0: 5, 1: 1}
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(dist="pareto")
+        with pytest.raises(ValueError):
+            WorkloadSpec(read_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(read_fraction=0.9, incr_fraction=0.2)
+        with pytest.raises(ValueError):
+            WorkloadSpec(n_keys=0)
+
+
+VALUE_SIZE = 16
+
+
+def fill(byte: int) -> bytes:
+    return bytes([byte]) * VALUE_SIZE
+
+
+def run_store_program(client_bodies, n_servers=1, slots_per_shard=8,
+                      counter_slots=4, faults=None):
+    """Run one generator body per client rank against passive servers."""
+    n_clients = len(client_bodies)
+    cluster = Cluster(n_nodes=n_servers + n_clients, faults=faults)
+    shards = ShardMap(list(range(n_servers)), slots_per_shard,
+                      counter_slots=counter_slots)
+    instruments = SvcInstruments.standalone()
+
+    def program(ctx):
+        rank = ctx.comm.rank
+        is_server = rank < n_servers
+        size = (slots_per_shard * slot_bytes(VALUE_SIZE)
+                if is_server else 8)
+        win = yield from ctx.comm.win_create(size, shared=True)
+        if is_server:
+            win.local_view()[:] = 0
+        yield from win.fence()
+        out = None
+        if not is_server:
+            store = RmaKvStore(win, shards, VALUE_SIZE,
+                               instruments=instruments)
+            out = yield from client_bodies[rank - n_servers](store, ctx)
+        yield from win.fence()
+        return out
+
+    run = Cluster.run(cluster, program)
+    return run.results[n_servers:], instruments
+
+
+class TestStoreSemantics:
+    def test_put_then_get_roundtrip(self):
+        def body(store, ctx):
+            yield from store.put("alpha", fill(7))
+            value = yield from store.get("alpha")
+            return value
+
+        results, m = run_store_program([body])
+        assert results[0] == fill(7)
+        assert m.counters["write_fast"].value == 1
+        assert m.counters["read_misses"].value == 0
+
+    def test_get_missing_key_is_a_miss(self):
+        def body(store, ctx):
+            value = yield from store.get("never-written")
+            return value
+
+        results, m = run_store_program([body])
+        assert results[0] is None
+        assert m.counters["read_misses"].value == 1
+
+    def test_overwrite_wins(self):
+        def body(store, ctx):
+            yield from store.put("k", fill(1))
+            yield from store.put("k", fill(2))
+            return (yield from store.get("k"))
+
+        results, _ = run_store_program([body])
+        assert results[0] == fill(2)
+
+    def test_hash_collision_evicts_previous_key(self):
+        """Two keys in the same slot: the table is a cache, last wins."""
+        shards = ShardMap([0], slots_per_shard=4, counter_slots=2)
+        seen: dict[tuple, str] = {}
+        pair = None
+        for i in range(1000):
+            key = f"collide-{i}"
+            loc = shards.locate_blob(key)
+            if loc in seen:
+                pair = (seen[loc], key)
+                break
+            seen[loc] = key
+        assert pair is not None, "no collision in 1000 keys over 2 slots?"
+        first, second = pair
+
+        def body(store, ctx):
+            yield from store.put(first, fill(3))
+            yield from store.put(second, fill(4))
+            a = yield from store.get(first)
+            b = yield from store.get(second)
+            return a, b
+
+        results, m = run_store_program([body], slots_per_shard=4,
+                                       counter_slots=2)
+        assert results[0] == (None, fill(4))  # first evicted, hash mismatch
+        assert m.counters["read_misses"].value == 1
+
+    def test_concurrent_writers_never_expose_torn_values(self):
+        """Clients hammer one key; every successful read is a uniform
+        byte fill (any mix of two writes would not be)."""
+
+        def writer(byte):
+            def body(store, ctx):
+                for i in range(6):
+                    yield from store.put("hot", fill(byte + i))
+                return None
+            return body
+
+        def reader(store, ctx):
+            observed = []
+            for _ in range(12):
+                value = yield from store.get("hot")
+                if value is not None:
+                    observed.append(value)
+            return observed
+
+        results, m = run_store_program([writer(10), writer(40), reader])
+        for value in results[2]:
+            assert len(set(value)) == 1, f"torn read: {value!r}"
+        # Every put resolved through exactly one of the two paths.
+        assert (m.counters["write_fast"].value
+                + m.counters["write_fallbacks"].value) == 12
+
+    def test_counter_increments_are_exact(self):
+        """Two clients increment disjoint counters concurrently; each
+        reads its own back exactly (shared-counter exactness is covered
+        by the driver's replay oracle)."""
+
+        def client(cid, deltas):
+            def body(store, ctx):
+                for delta in deltas:
+                    yield from store.incr(cid, delta)
+                return (yield from store.get_counter(cid))
+            return body
+
+        results, m = run_store_program(
+            [client(0, [1, 5, 2]), client(1, [10, 1, -4])], n_servers=2)
+        assert results == [8, 7]
+        assert m.counters["incrs"].value == 6
+
+    def test_value_size_enforced(self):
+        def body(store, ctx):
+            with pytest.raises(ValueError):
+                yield from store.put("k", b"wrong size")
+            return "ok"
+
+        results, _ = run_store_program([body])
+        assert results[0] == "ok"
+
+
+class TestDriver:
+    def small_config(self, dist="uniform", seed=1):
+        return ServiceConfig(
+            n_servers=2, n_clients=2, slots_per_shard=16, counter_slots=4,
+            workload=WorkloadSpec(n_keys=16, n_counter_keys=8,
+                                  ops_per_client=30, value_size=32,
+                                  dist=dist, seed=seed),
+        )
+
+    def test_report_shape_and_verification(self):
+        report = run_service(self.small_config())
+        assert report["verified"]
+        assert report["counter_mismatches"] == []
+        assert report["total_ops"] == 60
+        assert report["throughput_ops"] > 0
+        lat = report["latency_us"]
+        ops = sum(lat[kind]["count"] for kind in ("read", "write", "incr"))
+        assert ops == 60
+        for kind in ("read", "write", "incr"):
+            assert lat[kind]["p50"] <= lat[kind]["p95"] <= lat[kind]["p99"]
+        # Percentiles come from the registry snapshot, not a side channel.
+        assert (report["metrics"]["svc.read_latency_us.p99"]
+                == lat["read"]["p99"])
+
+    @pytest.mark.parametrize("dist", ["uniform", "zipfian"])
+    @pytest.mark.parametrize("faulty", [False, True],
+                             ids=["clean", "faults"])
+    def test_report_bit_identical_across_runs(self, dist, faulty):
+        """The acceptance bar: same seed -> byte-equal JSON, per dist,
+        faults on and off."""
+
+        def one_run():
+            reset_plan_cache()  # process-global; isolate the two runs
+            faults = (FaultPlan(seed=5, transient_rate=0.05, torn_rate=0.05,
+                                stall_rate=0.02, stall_time=300.0,
+                                unmap_after=150)
+                      if faulty else None)
+            report = run_service(self.small_config(dist=dist), faults=faults)
+            return json.dumps(report, sort_keys=True)
+
+        first, second = one_run(), one_run()
+        assert first == second
+        assert json.loads(first)["verified"]
+
+    def test_different_seeds_differ(self):
+        a = run_service(self.small_config(seed=1))
+        b = run_service(self.small_config(seed=2))
+        assert (json.dumps(a, sort_keys=True)
+                != json.dumps(b, sort_keys=True))
+
+    def test_faults_degrade_cleanly(self):
+        """Under an unmapping fault plan the service keeps verifying and
+        records the direct->emulated degradation."""
+        plan = FaultPlan(seed=3, transient_rate=0.1, torn_rate=0.05,
+                         stall_rate=0.02, stall_time=300.0, unmap_after=60)
+        report = run_service(self.small_config(), faults=plan)
+        assert report["verified"]
+        assert report["faults"]["injected"] > 0
+        assert report["faults"]["fallbacks"] > 0
+
+
+@pytest.mark.faults
+@pytest.mark.parametrize("seed", [1, 2, 3], ids=["seed1", "seed2", "seed3"])
+def test_svc_storm_under_faults_stays_exact(seed):
+    """Fault-matrix leg: the full service keeps its replay-oracle
+    exactness per seed with the fault injector running hot."""
+    report = run_service(
+        ServiceConfig(n_servers=2, n_clients=2, slots_per_shard=16,
+                      counter_slots=4,
+                      workload=WorkloadSpec(n_keys=16, n_counter_keys=8,
+                                            ops_per_client=25, seed=seed,
+                                            value_size=32)),
+        faults=FaultPlan(seed=seed, transient_rate=0.1, torn_rate=0.05,
+                         stall_rate=0.03, stall_time=300.0),
+    )
+    assert report["verified"], report["counter_mismatches"]
+    assert report["faults"]["injected"] > 0
+
+
+class TestCli:
+    def test_json_file_output(self, tmp_path, capsys):
+        from repro.svc.cli import main
+
+        out_path = tmp_path / "svc.json"
+        rc = main(["--servers", "1", "--clients", "1", "--ops", "15",
+                   "--keys", "8", "--slots", "16", "--counter-slots", "4",
+                   "--counter-keys", "4", "--json", str(out_path)])
+        assert rc == 0
+        report = json.loads(out_path.read_text())
+        assert report["verified"]
+        assert "throughput" in capsys.readouterr().out
+
+    def test_bad_dist_rejected(self):
+        from repro.svc.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["--dist", "pareto"])

@@ -13,6 +13,8 @@ set by :mod:`repro.bench.smoke`):
   the current value exceeding baseline by more than the tolerance;
 * ``*_mibs`` — MiB/s, higher is better; a regression is the current
   value falling below baseline by more than the tolerance;
+* ``*_ops`` — service operations per second, higher is better (same
+  direction as ``*_mibs``);
 * anything else — direction unknown; a regression is the relative
   difference exceeding the tolerance either way.
 
@@ -42,7 +44,7 @@ def classify(name: str, baseline: float, current: float,
         rel = (current - baseline) / abs(baseline)
     if name.endswith("_us"):
         worse, better = rel > tolerance, rel < 0
-    elif name.endswith("_mibs"):
+    elif name.endswith("_mibs") or name.endswith("_ops"):
         worse, better = rel < -tolerance, rel > 0
     else:
         worse, better = abs(rel) > tolerance, False
