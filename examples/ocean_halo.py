@@ -3,113 +3,25 @@
 
 Sec. 3 motivates non-contiguous datatypes with ocean models whose 3-D
 simulation volume is decomposed along the two horizontal dimensions: the
-boundary exchange then moves *strided* (east/west faces) and even
-*double-strided* data (Fig. 2).  This example builds exactly that:
+boundary exchange then moves *strided* (north/south faces) and even
+*double-strided* data (east/west faces, Fig. 2).
 
-* a global (nz, ny, nx) grid of doubles, block-decomposed over a 2-D
-  process mesh in (ny, nx);
-* per-neighbour MPI datatypes: contiguous rows for north/south halos,
-  a double-strided ``Hvector``-of-``Hvector`` for east/west halos;
-* a Jacobi-style sweep: halo exchange + interior update, repeated;
-* a comparison of the generic vs. direct_pack_ff transfer technique on
-  the same exchange.
+This is now a thin wrapper over the verified scenario kernel
+(:func:`repro.scenarios.run_halo_standalone` — the same Jacobi sweep the
+``colocation`` scenario co-locates with the KV service), comparing the
+generic vs. direct_pack_ff transfer technique on the same exchange.
+Every run is checked bit-exactly against the host stencil oracle.
 
 Run with::
 
     python examples/ocean_halo.py
 """
 
-import numpy as np
+from repro import NonContigMode, ProtocolConfig
+from repro.scenarios import HaloConfig, run_halo_standalone
 
-from repro import Cluster, DOUBLE, Hvector, NonContigMode, ProtocolConfig
-
-# Global grid (depth, latitude, longitude) and process mesh (py, px).
-NZ, NY, NX = 32, 192, 192
-PY, PX = 2, 2
-STEPS = 3
-DSIZE = 8
-
-
-def neighbour(rank: int, dy: int, dx: int) -> int | None:
-    """Rank of the mesh neighbour, or None at the domain boundary."""
-    my, mx = divmod(rank, PX)
-    ny, nx = my + dy, mx + dx
-    if not (0 <= ny < PY and 0 <= nx < PX):
-        return None
-    return ny * PX + nx
-
-
-def make_halo_types(lny: int, lnx: int):
-    """Datatypes describing the four faces of the local (NZ, lny+2, lnx+2)
-    array, which is stored C-contiguously with a one-cell halo ring."""
-    row_bytes = (lnx + 2) * DSIZE
-    plane_bytes = (lny + 2) * row_bytes
-
-    # North/south faces: one interior row per z-plane -> single-strided.
-    ns_face = Hvector(
-        count=NZ, blocklength=lnx, stride_bytes=plane_bytes, oldtype=DOUBLE
-    )
-    # East/west faces: one cell per interior row per plane -> double-strided
-    # (the Fig. 2 pattern): inner stride = row, outer stride = plane.
-    column = Hvector(count=lny, blocklength=1, stride_bytes=row_bytes, oldtype=DOUBLE)
-    ew_face = Hvector(count=NZ, blocklength=1, stride_bytes=plane_bytes, oldtype=column)
-    ns_face.commit()
-    ew_face.commit()
-    return ns_face, ew_face
-
-
-def offset(z: int, y: int, x: int, lnx: int, lny: int) -> int:
-    """Byte offset of (z, y, x) inside the local halo-padded array."""
-    return ((z * (lny + 2) + y) * (lnx + 2) + x) * DSIZE
-
-
-def program(ctx):
-    comm = ctx.comm
-    rank = comm.rank
-    lny, lnx = NY // PY, NX // PX
-    ns_face, ew_face = make_halo_types(lny, lnx)
-
-    local = ctx.alloc(NZ * (lny + 2) * (lnx + 2) * DSIZE)
-    grid = local.as_array(np.float64).reshape(NZ, lny + 2, lnx + 2)
-    grid[:, 1:-1, 1:-1] = rank + 1  # distinct interior values per rank
-
-    north, south = neighbour(rank, -1, 0), neighbour(rank, 1, 0)
-    west, east = neighbour(rank, 0, -1), neighbour(rank, 0, 1)
-
-    t_start = ctx.now
-    for _ in range(STEPS):
-        requests = []
-        # Send our interior boundary rows/columns; receive into halos.
-        exchanges = [
-            # (peer, send offset, recv offset, datatype)
-            (north, offset(0, 1, 1, lnx, lny), offset(0, 0, 1, lnx, lny), ns_face),
-            (south, offset(0, lny, 1, lnx, lny), offset(0, lny + 1, 1, lnx, lny), ns_face),
-            (west, offset(0, 1, 1, lnx, lny), offset(0, 1, 0, lnx, lny), ew_face),
-            (east, offset(0, 1, lnx, lnx, lny), offset(0, 1, lnx + 1, lnx, lny), ew_face),
-        ]
-        for peer, send_off, recv_off, dtype in exchanges:
-            if peer is None:
-                continue
-            span = dtype.extent
-            requests.append(comm.isend(
-                local.slice(send_off, span), peer, tag=1, datatype=dtype, count=1
-            ))
-            requests.append(comm.irecv(
-                local.slice(recv_off, span), source=peer, tag=1,
-                datatype=dtype, count=1,
-            ))
-        for req in requests:
-            yield from req.wait()
-        # Jacobi update of the interior (the "compute" phase).
-        interior = grid[:, 1:-1, 1:-1]
-        interior[:] = 0.25 * (
-            grid[:, :-2, 1:-1] + grid[:, 2:, 1:-1]
-            + grid[:, 1:-1, :-2] + grid[:, 1:-1, 2:]
-        )
-        yield ctx.cluster.engine.timeout(50.0)  # modelled compute time
-
-    elapsed = ctx.now - t_start
-    return {"rank": rank, "elapsed_us": elapsed, "corner": float(grid[0, 1, 1])}
+# Global grid (depth, latitude, longitude) split over a (1, 2, 2) mesh.
+CONFIG = HaloConfig(mesh=(1, 2, 2), interior=(32, 96, 96), steps=3)
 
 
 def main() -> None:
@@ -126,13 +38,15 @@ def main() -> None:
         ),
     }
     results = {}
+    nz, ny, nx = (i * m for i, m in zip(CONFIG.interior, CONFIG.mesh))
     for label, protocol in configs.items():
-        cluster = Cluster(n_nodes=PY * PX, protocol=protocol)
-        run = cluster.run(program)
-        worst = max(r["elapsed_us"] for r in run.results)
-        results[label] = worst
-        print(f"{label:8s}: {STEPS} halo-exchange steps in {worst:9.1f} µs "
-              f"(simulated, {PY}x{PX} mesh, {NZ}x{NY}x{NX} grid)")
+        run = run_halo_standalone(CONFIG, protocol=protocol)
+        assert run["exact"], f"{label}: grid diverged from the host oracle"
+        results[label] = run["elapsed_us"]
+        print(f"{label:8s}: {CONFIG.steps} halo-exchange steps in "
+              f"{run['elapsed_us']:9.1f} µs (simulated, "
+              f"{CONFIG.mesh[1]}x{CONFIG.mesh[2]} mesh, "
+              f"{nz}x{ny}x{nx} grid, bit-exact)")
     best_fixed = min(results["generic"], results["direct"])
     print(f"auto (min-block knob) vs best fixed mode: "
           f"{best_fixed / results['auto']:.2f}x")

@@ -6,83 +6,39 @@ balancing with strongly varying task sizes (e.g. in computational
 chemistry)": with two-sided messaging, idle workers would need busy peers
 to answer steal requests; with RMA they help themselves.
 
-This example implements a global task counter in an MPI window:
-
-* rank 0 exposes a shared counter; tasks have deliberately skewed costs;
-* every rank claims tasks with ``fetch_and_op`` (an atomic ticket) under
-  a passive-target lock — no cooperation from anyone required;
-* the run verifies every task executed exactly once and reports the load
-  balance achieved vs. a static block distribution.
+This is now a thin wrapper over the ``work_stealing`` scenario
+(:mod:`repro.scenarios.tasks`): rank 0 exposes a global task counter in
+an MPI window, every rank claims tasks with ``fetch_and_op`` (an atomic
+ticket, handler-serialized at the target — no lock required), and the
+run verifies every task executed exactly once plus the load balance
+achieved vs. a static block distribution.
 
 Run with::
 
     python examples/work_stealing.py
 """
 
-import numpy as np
+from repro.scenarios import run_scenario
 
-from repro import Cluster, LONG
-
-NTASKS = 64
-NPROCS = 4
 SEED = 7
-
-
-def task_costs() -> np.ndarray:
-    """Strongly varying task sizes (µs of simulated compute)."""
-    rng = np.random.default_rng(SEED)
-    return rng.pareto(1.5, NTASKS) * 40.0 + 10.0
-
-
-COSTS = task_costs()
-
-
-def program(ctx):
-    comm = ctx.comm
-    win = yield from comm.win_create(8, shared=True)
-    if comm.rank == 0:
-        win.local_view().view(np.int64)[0] = 0
-    yield from win.fence()
-
-    executed = []
-    t0 = ctx.now
-    while True:
-        # Atomically claim the next task ticket from rank 0's counter.
-        yield from win.lock(0)
-        old = yield from win.fetch_and_op(
-            np.array([1], dtype=np.int64), 0, 0, op="sum", datatype=LONG
-        )
-        yield from win.unlock(0)
-        task = int(old.view(np.int64)[0])
-        if task >= NTASKS:
-            break
-        executed.append(task)
-        yield ctx.cluster.engine.timeout(float(COSTS[task]))
-    busy = ctx.now - t0
-    yield from win.fence()
-    return {"rank": comm.rank, "tasks": executed, "busy": busy}
+NPROCS = 16
 
 
 def main() -> None:
-    run = Cluster(n_nodes=NPROCS).run(program)
-    all_tasks = sorted(t for r in run.results for t in r["tasks"])
-    assert all_tasks == list(range(NTASKS)), "every task exactly once"
+    report = run_scenario("work_stealing", seed=SEED, ranks=NPROCS).report
+    app = report["app"]
+    assert app["exactly_once"], "every task exactly once"
 
-    stolen_busy = [r["busy"] for r in run.results]
-    # Static block distribution for comparison.
-    block = NTASKS // NPROCS
-    static_busy = [float(COSTS[i * block : (i + 1) * block].sum())
-                   for i in range(NPROCS)]
-
-    print(f"{NTASKS} tasks, Pareto-skewed costs, {NPROCS} workers")
-    for r in run.results:
-        print(f"  rank {r['rank']}: {len(r['tasks']):3d} tasks, "
-              f"busy {r['busy']:9.1f} µs")
-    imb_dyn = max(stolen_busy) / (sum(stolen_busy) / NPROCS)
-    imb_sta = max(static_busy) / (sum(static_busy) / NPROCS)
-    print(f"load imbalance (max/mean): work stealing {imb_dyn:.2f}x, "
-          f"static blocks {imb_sta:.2f}x")
-    assert imb_dyn < imb_sta, "RMA work stealing should balance better"
+    print(f"{app['tasks_run']} tasks, Pareto-skewed costs, "
+          f"{NPROCS} workers")
+    for row in app["per_rank"]:
+        print(f"  rank {row['rank']:2d}: {row['n_tasks']:3d} tasks, "
+              f"busy {row['busy_us']:9.1f} µs")
+    print(f"load imbalance (max/mean): work stealing "
+          f"{app['imbalance_dynamic']:.2f}x, "
+          f"static blocks {app['imbalance_static']:.2f}x")
+    assert app["balanced"], "RMA work stealing should balance better"
+    assert report["verified"] and report["invariants_ok"]
     print("OK")
 
 

@@ -33,7 +33,8 @@ from .svc import run_svc_point
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..obs import MetricsRegistry
 
-__all__ = ["run_smoke", "smoke_registry", "SMOKE_METRICS"]
+__all__ = ["run_smoke", "smoke_registry", "SMOKE_METRICS",
+           "SCENARIO_HEADLINES"]
 
 #: Every metric :func:`run_smoke` emits, in emission order.
 SMOKE_METRICS = (
@@ -46,6 +47,19 @@ SMOKE_METRICS = (
     "fault_recovery_us",
     "svc_throughput_ops",
     "svc_p99_us",
+    "scenario_training_step_us",
+    "scenario_graph_edges_ops",
+    "scenario_steal_tasks_ops",
+    "scenario_coloc_p99_us",
+)
+
+#: (smoke gauge, scenario) pairs: each end-to-end scenario's headline
+#: number, measured at the canonical clean seed-1 cell.
+SCENARIO_HEADLINES = (
+    ("scenario_training_step_us", "training"),
+    ("scenario_graph_edges_ops", "graph"),
+    ("scenario_steal_tasks_ops", "work_stealing"),
+    ("scenario_coloc_p99_us", "colocation"),
 )
 
 
@@ -110,6 +124,13 @@ def smoke_registry() -> "MetricsRegistry":
     throughput, p99 = run_svc_point()
     gauges["svc_throughput_ops"].set(throughput)
     gauges["svc_p99_us"].set(p99)
+    # End-to-end scenario headlines last: run_scenario resets the plan
+    # cache, so the microbenchmark values above stay untouched.
+    from ..scenarios import run_scenario
+
+    for gauge_name, scenario in SCENARIO_HEADLINES:
+        report = run_scenario(scenario, seed=1).report
+        gauges[gauge_name].set(report["headline"][gauge_name])
     return registry
 
 

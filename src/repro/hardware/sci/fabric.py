@@ -94,6 +94,7 @@ class SCIFabric:
             "faults": 0,
             "bytes_written": 0,
             "bytes_read": 0,
+            "bytes_torn": 0,
         }
 
     # -- configuration / fault injection --------------------------------------
@@ -189,6 +190,11 @@ class SCIFabric:
         self._trace("fabric.fault", fault=kind, src=src, nbytes=nbytes,
                     delivered=delivered, ringlet=self._ringlet_of(route))
         if kind == FaultKind.TORN:
+            # The delivered prefix arrived for good (the resume continues
+            # past it), but the completion path that bumps bytes_written
+            # never runs for this attempt — account it here so delivered
+            # bytes stay conserved: written + read + torn >= injected.
+            self.counters["bytes_torn"] += delivered
             raise TornTransferError(delivered, nbytes)
         raise SCITransientError(
             f"transfer of {nbytes} B from node {src} lost (injected {kind} fault)"

@@ -29,7 +29,7 @@ _RECOVERY_COUNTERS = ("retries", "resumes", "timeouts", "remaps",
 _CHUNK_STATS = ("chunks", "chunk_bytes", "chunk_time")
 _FABRIC_COUNTERS = ("pio_writes", "pio_reads", "dma_transfers", "barriers",
                     "interrupts", "retries", "faults", "bytes_written",
-                    "bytes_read")
+                    "bytes_read", "bytes_torn")
 _PLAN_CACHE_STATS = ("hits", "misses", "evictions", "builds", "size",
                      "maxsize", "enabled")
 _SEGMENT_COUNTERS = ("exports", "imports")

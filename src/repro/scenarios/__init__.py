@@ -1,0 +1,41 @@
+"""Seeded end-to-end application scenarios — the regression matrix.
+
+See :mod:`repro.scenarios.base` for the framework and
+``docs/SCENARIOS.md`` for the scenario and report contracts.
+"""
+
+from .base import (SCENARIO_COUNTERS, SCENARIO_HISTOGRAMS, Scenario,
+                   ScenarioError, ScenarioInstruments, ScenarioParams,
+                   ScenarioRun, canonical, check_invariants, get_scenario,
+                   register_scenario, run_scenario, scenario_fault_plan,
+                   scenario_names)
+from .colocation import (ColocationScenario, HaloConfig, halo_program,
+                         run_halo_standalone)
+from .graph import GraphScenario
+from .tasks import WorkStealingScenario, task_costs
+from .training import TrainingScenario
+
+__all__ = [
+    "SCENARIO_COUNTERS",
+    "SCENARIO_HISTOGRAMS",
+    "ColocationScenario",
+    "GraphScenario",
+    "HaloConfig",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioInstruments",
+    "ScenarioParams",
+    "ScenarioRun",
+    "TrainingScenario",
+    "WorkStealingScenario",
+    "canonical",
+    "check_invariants",
+    "get_scenario",
+    "halo_program",
+    "register_scenario",
+    "run_halo_standalone",
+    "run_scenario",
+    "scenario_fault_plan",
+    "scenario_names",
+    "task_costs",
+]

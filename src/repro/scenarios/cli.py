@@ -1,0 +1,132 @@
+"""``repro-scenarios`` — run the end-to-end scenario matrix from the CLI.
+
+Runs any subset of the matrix (scenario × seed × faults on/off) through
+:func:`~repro.scenarios.base.run_scenario`, prints a human summary per
+cell, and optionally emits one JSON document with every cell's report.
+Each cell is a seeded discrete-event simulation: for a given flag set
+the JSON output is *bit-identical* across invocations — CI's
+``scenario-matrix`` job runs every cell twice and diffs the bytes.
+
+Examples::
+
+    repro-scenarios --list                     # what's in the matrix
+    repro-scenarios --all --seed 1 --json -    # every scenario, one doc
+    repro-scenarios graph training --faults    # a faulty subset
+    repro-scenarios --all --trace-dir traces/  # Perfetto trace per cell
+
+With ``--json -`` stdout carries exactly one JSON document (pipeable
+into ``jq``); the human summary moves to stderr.  Exit status is nonzero
+if any cell's application oracle or cross-layer invariants failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from ..obs import write_chrome_trace
+from .base import (ScenarioError, canonical, get_scenario, run_scenario,
+                   scenario_names)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-scenarios",
+        description="Seeded end-to-end application scenarios over the "
+                    "simulated SCI cluster (the regression matrix).",
+    )
+    parser.add_argument("scenarios", nargs="*", metavar="SCENARIO",
+                        help="scenario names to run (see --list)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every registered scenario")
+    parser.add_argument("--list", action="store_true",
+                        help="list scenarios and exit")
+    parser.add_argument("--seed", dest="seeds", type=int, action="append",
+                        metavar="N",
+                        help="workload seed; repeat for several "
+                             "(default: 1)")
+    parser.add_argument("--ranks", type=int, default=0,
+                        help="rank count override (0 = scenario default)")
+    parser.add_argument("--steps", type=int, default=0,
+                        help="step/round override (0 = scenario default)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="problem-size multiplier (default: 1.0)")
+    parser.add_argument("--faults", action="store_true",
+                        help="install each cell's canonical fault plan")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write all reports as one JSON document "
+                             "(- for stdout)")
+    parser.add_argument("--trace-dir", metavar="DIR",
+                        help="write a Perfetto trace per cell into DIR")
+    return parser
+
+
+def _cell_label(name: str, seed: int, faults: bool) -> str:
+    return f"{name}-s{seed}-{'faulty' if faults else 'clean'}"
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in scenario_names():
+            print(f"{name:<16} {get_scenario(name).description}")
+        return 0
+
+    names = scenario_names() if args.all else args.scenarios
+    if not names:
+        parser.error("no scenarios given (name some, or use --all / --list)")
+    seeds = args.seeds or [1]
+
+    # With --json -, stdout carries exactly one JSON document; the human
+    # summary moves to stderr.
+    out = sys.stderr if args.json == "-" else sys.stdout
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+
+    cells = []
+    failed = 0
+    for name in names:
+        for seed in seeds:
+            try:
+                run = run_scenario(name, seed=seed, ranks=args.ranks,
+                                   steps=args.steps, scale=args.scale,
+                                   faults=args.faults)
+            except ScenarioError as exc:
+                parser.error(str(exc))
+            report = run.report
+            cells.append(report)
+            ok = report["verified"] and report["invariants_ok"]
+            failed += not ok
+            headline = next(iter(report["headline"].items()))
+            print(f"{_cell_label(name, seed, args.faults)}: "
+                  f"{'ok' if ok else 'FAILED'}  "
+                  f"{headline[0]}={headline[1]:.2f}  "
+                  f"elapsed={report['elapsed_us']:.1f} us  "
+                  f"faults={report['faults']['injected']:.0f}", file=out)
+            if args.trace_dir:
+                path = os.path.join(
+                    args.trace_dir,
+                    _cell_label(name, seed, args.faults) + ".trace.json")
+                write_chrome_trace(run.tracer, path,
+                                   other_data={"scenario": name,
+                                               "seed": seed})
+                print(f"  trace -> {path}", file=out)
+
+    print(f"{len(cells)} cells, {len(cells) - failed} ok, {failed} failed",
+          file=out)
+    if args.json:
+        payload = json.dumps(canonical({"cells": cells}), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload + "\n")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,202 @@
+"""Scenario 1: an allreduce-dominated data-parallel training loop.
+
+The dominant HPC-adjacent production workload: every rank computes local
+gradients, the ranks allreduce them, everyone applies the same update.
+The twist the paper cares about is the *layout*: real gradient arenas
+interleave parameters with optimizer state, so the bytes to reduce are
+**non-contiguous** — here each layer's gradients are a strided
+:class:`~repro.mpi.datatypes.Vector` of DOUBLE blocks inside a wider
+arena, and every reduction hop sends that datatype directly (the
+direct_pack_ff data path), never a hand-packed staging copy.
+
+The allreduce is a deterministic two-pass chain — partial sums travel
+rank 0 → 1 → ... → p−1 (each rank adds its strided gradient to the packed
+partial), then the total travels back p−1 → ... → 0, unpacking straight
+into each rank's strided arena.  The fixed association order makes the
+floating-point result *bit-exact* reproducible, which is what lets the
+host-side oracle verify every rank's reduced gradient and the final
+parameter vector by exact equality.
+
+Headline metric: ``scenario_training_step_us`` — simulated µs per
+training step (compute + allreduce), lower is better.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mpi.datatypes import DOUBLE, Vector
+from .base import (Scenario, ScenarioInstruments, ScenarioParams,
+                   register_scenario)
+
+__all__ = ["TrainingScenario"]
+
+#: Per-layer gradient layout at scale=1: (blocks, doubles per block,
+#: arena stride in doubles).  stride > block models interleaved
+#: parameter/optimizer state (the non-contiguous part).
+LAYERS = ((48, 16, 24), (24, 32, 40))
+
+#: Modelled local-compute time per step, before the per-rank jitter.
+COMPUTE_US = 40.0
+
+LEARNING_RATE = 0.01
+_UP_TAG, _DOWN_TAG = 11, 12
+
+
+def _layer_sizes(scale: float) -> list[tuple[int, int, int]]:
+    return [(max(2, int(blocks * scale)), blk, stride)
+            for blocks, blk, stride in LAYERS]
+
+
+def _step_rng(seed: int, rank: int, step: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence([seed, rank, step]))
+
+
+def _draw_step(rng: np.random.Generator,
+               layers: list[tuple[int, int, int]]):
+    """One rank-step's draws, in fixed order: compute jitter, then the
+    gradient block matrix of every layer."""
+    jitter = float(rng.uniform(0.0, 30.0))
+    grads = [rng.standard_normal((blocks, blk))
+             for blocks, blk, _stride in layers]
+    return jitter, grads
+
+
+def _reduced_grads(seed: int, step: int, n_ranks: int,
+                   layers: list[tuple[int, int, int]]) -> list[np.ndarray]:
+    """Host oracle: the chain-ordered gradient sum of one step.
+
+    Association order matches the simulated chain exactly —
+    ``((g0 + g1) + g2) + ...`` — so equality is bit-exact, not approx.
+    """
+    acc = [g.copy() for g in _draw_step(_step_rng(seed, 0, step), layers)[1]]
+    for rank in range(1, n_ranks):
+        grads = _draw_step(_step_rng(seed, rank, step), layers)[1]
+        for a, g in zip(acc, grads):
+            a += g
+    return acc
+
+
+@register_scenario
+class TrainingScenario(Scenario):
+    name = "training"
+    description = ("data-parallel training loop: chain allreduce of "
+                   "non-contiguous (strided Vector) gradient arenas")
+    default_ranks = 4
+    default_steps = 3
+    headline_metric = "scenario_training_step_us"
+
+    def resolve(self, params: ScenarioParams) -> dict:
+        layers = _layer_sizes(params.scale)
+        return {
+            "compute_us": COMPUTE_US,
+            "grad_bytes_per_step": sum(b * k * 8 for b, k, _ in layers),
+            "layers": [
+                {"blocks": b, "block_doubles": k, "stride_doubles": s}
+                for b, k, s in layers
+            ],
+            "resolved_ranks": self.n_ranks(params),
+            "resolved_steps": self.n_steps(params),
+        }
+
+    def run(self, cluster, params: ScenarioParams,
+            inst: ScenarioInstruments) -> dict:
+        n_ranks = self.n_ranks(params)
+        n_steps = self.n_steps(params)
+        layers = _layer_sizes(params.scale)
+        seed = params.seed
+
+        def program(ctx):
+            comm = ctx.comm
+            rank, size = comm.rank, comm.size
+            arenas, views, dtypes, scratch = [], [], [], []
+            for blocks, blk, stride in layers:
+                buf = ctx.alloc(blocks * stride * 8)
+                arena = buf.as_array(np.float64).reshape(blocks, stride)
+                arena[:] = 0.0
+                dtype = Vector(blocks, blk, stride, DOUBLE)
+                dtype.commit()
+                arenas.append(buf)
+                views.append(arena)
+                dtypes.append(dtype)
+                scratch.append(ctx.alloc(blocks * blk * 8))
+            params_vec = [np.zeros((blocks, blk))
+                          for blocks, blk, _ in layers]
+
+            for step in range(n_steps):
+                with inst.step(ctx, step, record=rank == 0):
+                    jitter, grads = _draw_step(
+                        _step_rng(seed, rank, step), layers)
+                    yield ctx.cluster.engine.timeout(COMPUTE_US + jitter)
+                    for (blocks, blk, _s), view, grad in zip(
+                            layers, views, grads):
+                        view[:, :blk] = grad
+                    # Up-chain: add my strided gradient into the packed
+                    # partial and pass it on (every hop ships the Vector
+                    # datatype — the non-contiguous fast path).
+                    for (blocks, blk, _s), buf, view, dtype, tmp in zip(
+                            layers, arenas, views, dtypes, scratch):
+                        gbytes = blocks * blk * 8
+                        if rank > 0:
+                            yield from comm.recv(tmp, source=rank - 1,
+                                                 tag=_UP_TAG)
+                            view[:, :blk] += tmp.as_array(
+                                np.float64).reshape(blocks, blk)
+                        if rank < size - 1:
+                            yield from comm.send(buf, dest=rank + 1,
+                                                 tag=_UP_TAG,
+                                                 datatype=dtype, count=1)
+                            inst.payload(gbytes)
+                        # Down-chain: the total unpacks straight into the
+                        # strided arena, then forwards.
+                        if rank < size - 1:
+                            yield from comm.recv(buf, source=rank + 1,
+                                                 tag=_DOWN_TAG,
+                                                 datatype=dtype, count=1)
+                        if rank > 0:
+                            yield from comm.send(buf, dest=rank - 1,
+                                                 tag=_DOWN_TAG,
+                                                 datatype=dtype, count=1)
+                            inst.payload(gbytes)
+                        inst.ops()
+                    for (blocks, blk, _s), view, p in zip(
+                            layers, views, params_vec):
+                        p -= LEARNING_RATE * view[:, :blk]
+            final_grads = [view[:, :blk].copy()
+                           for (_b, blk, _s), view in zip(layers, views)]
+            return {"rank": rank, "grads": final_grads,
+                    "params": params_vec}
+
+        run = cluster.run(program)
+
+        # Host oracle: reduced gradients per step (bit-exact chain order)
+        # and the resulting parameter trajectory.
+        expected_params = [np.zeros((blocks, blk))
+                           for blocks, blk, _ in layers]
+        expected_last = None
+        for step in range(n_steps):
+            expected_last = _reduced_grads(seed, step, n_ranks, layers)
+            for p, g in zip(expected_params, expected_last):
+                p -= LEARNING_RATE * g
+        grads_exact = all(
+            np.array_equal(g, e)
+            for result in run.results
+            for g, e in zip(result["grads"], expected_last)
+        )
+        params_exact = all(
+            np.array_equal(p, e)
+            for result in run.results
+            for p, e in zip(result["params"], expected_params)
+        )
+        checksum = float(sum(float(np.sum(p)) for p in expected_params))
+        return {
+            "grads_exact": grads_exact,
+            "param_checksum": checksum,
+            "params_exact": params_exact,
+            "steps_run": n_steps,
+            "verified": grads_exact and params_exact,
+        }
+
+    def headline_value(self, app: dict, snapshot: dict,
+                       elapsed_us: float) -> float:
+        return elapsed_us / max(1, app["steps_run"])

@@ -1,11 +1,25 @@
-"""Smoke tests: every example script runs to completion and verifies itself."""
+"""Smoke tests: every example script runs to completion and verifies itself.
 
+The ``work_stealing`` and ``ocean_halo`` examples are thin wrappers over
+their scenario counterparts (``repro.scenarios``); the agreement tests
+assert the wrappers and the scenarios report the same numbers.
+"""
+
+import importlib.util
 import runpy
 from pathlib import Path
 
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example(name: str):
+    """Import an example module without running its ``main()``."""
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 @pytest.mark.parametrize(
@@ -17,3 +31,38 @@ def test_example_runs(script, capsys):
     runpy.run_path(str(EXAMPLES / script), run_name="__main__")
     out = capsys.readouterr().out
     assert "OK" in out
+
+
+class TestWrapperAgreement:
+    """The promoted examples and their scenarios report the same numbers."""
+
+    def test_work_stealing_wrapper_matches_scenario(self, capsys):
+        from repro.scenarios import run_scenario
+
+        mod = _load_example("work_stealing")
+        report = run_scenario("work_stealing", seed=mod.SEED,
+                              ranks=mod.NPROCS).report
+        app = report["app"]
+        assert app["exactly_once"] and app["balanced"]
+
+        mod.main()
+        out = capsys.readouterr().out
+        assert f"{app['tasks_run']} tasks" in out
+        assert f"work stealing {app['imbalance_dynamic']:.2f}x" in out
+        assert f"static blocks {app['imbalance_static']:.2f}x" in out
+
+    def test_ocean_halo_wrapper_matches_scenario(self, capsys):
+        from repro import NonContigMode, ProtocolConfig
+        from repro.scenarios import run_halo_standalone
+
+        mod = _load_example("ocean_halo")
+        direct = run_halo_standalone(
+            mod.CONFIG,
+            protocol=ProtocolConfig(noncontig_mode=NonContigMode.DIRECT),
+        )
+        assert direct["exact"]
+
+        mod.main()
+        out = capsys.readouterr().out
+        assert f"{direct['elapsed_us']:9.1f} µs" in out
+        assert "OK" in out

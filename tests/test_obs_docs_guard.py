@@ -95,6 +95,30 @@ class TestMetricNames:
                 "missing from docs/OBSERVABILITY.md"
             )
 
+    def test_every_scenario_metric_documented(self):
+        """The scenario driver likewise registers its instruments outside
+        build_registry — enumerate them from the scenario name tuples."""
+        from repro.obs.metrics import _HISTOGRAM_FIELDS
+        from repro.scenarios import SCENARIO_COUNTERS, SCENARIO_HISTOGRAMS
+
+        names = [f"scenario.{counter}" for counter in SCENARIO_COUNTERS]
+        names += [f"scenario.{hist}.{field}" for hist in SCENARIO_HISTOGRAMS
+                  for field in _HISTOGRAM_FIELDS]
+        assert len(names) >= 11
+        for name in names:
+            assert f"`{name}`" in DOC, (
+                f"scenario metric {name!r} is registered by run_scenario "
+                "but missing from docs/OBSERVABILITY.md"
+            )
+
+    def test_every_scenario_headline_gauge_documented(self):
+        from repro.bench.smoke import SCENARIO_HEADLINES
+        from repro.scenarios import get_scenario
+
+        for gauge_name, scenario in SCENARIO_HEADLINES:
+            assert get_scenario(scenario).headline_metric == gauge_name
+            assert f"`{gauge_name}`" in DOC, gauge_name
+
 
 class TestDocumentationMap:
     def test_readme_links_every_doc(self):
@@ -105,7 +129,8 @@ class TestDocumentationMap:
             )
 
     def test_observability_cross_linked(self):
-        for name in ("PROTOCOLS.md", "FAULTS.md", "PACK_PLANS.md"):
+        for name in ("PROTOCOLS.md", "FAULTS.md", "PACK_PLANS.md",
+                     "SCENARIOS.md"):
             text = (ROOT / "docs" / name).read_text()
             assert "OBSERVABILITY.md" in text, name
 
