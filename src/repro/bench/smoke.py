@@ -11,7 +11,8 @@ on regressions beyond its tolerance.
 
 Metric naming carries the comparison direction: ``*_us`` is
 lower-is-better (simulated microseconds), ``*_mibs`` is higher-is-better
-(MiB/s), ``*_ops`` is higher-is-better (service ops per second).
+(MiB/s), ``*_ops`` is higher-is-better (service ops per second), ``*_x``
+is higher-is-better (a speedup ratio).
 """
 
 from __future__ import annotations
@@ -47,10 +48,15 @@ SMOKE_METRICS = (
     "fault_recovery_us",
     "svc_throughput_ops",
     "svc_p99_us",
+    "allreduce_flat_64n_us",
+    "allreduce_hier_64n_us",
+    "allreduce_hier_128n_us",
+    "hier_allreduce_speedup_64n_x",
     "scenario_training_step_us",
     "scenario_graph_edges_ops",
     "scenario_steal_tasks_ops",
     "scenario_coloc_p99_us",
+    "scenario_coloc_rings_p99_us",
 )
 
 #: (smoke gauge, scenario) pairs: each end-to-end scenario's headline
@@ -60,6 +66,7 @@ SCENARIO_HEADLINES = (
     ("scenario_graph_edges_ops", "graph"),
     ("scenario_steal_tasks_ops", "work_stealing"),
     ("scenario_coloc_p99_us", "colocation"),
+    ("scenario_coloc_rings_p99_us", "colocation_rings"),
 )
 
 
@@ -68,6 +75,8 @@ def _unit(name: str) -> str:
         return "us"
     if name.endswith("_ops"):
         return "ops/s"
+    if name.endswith("_x"):
+        return "x"
     return "MiB/s"
 
 
@@ -124,6 +133,18 @@ def smoke_registry() -> "MetricsRegistry":
     throughput, p99 = run_svc_point()
     gauges["svc_throughput_ops"].set(throughput)
     gauges["svc_p99_us"].set(p99)
+    # Topology scaling gauges: hierarchical vs. flat-chain allreduce on
+    # switched multi-ringlet fabrics (each run resets the plan cache, so
+    # they sit between the microbenchmarks and the scenarios, which
+    # reset it again themselves).
+    from .hier import run_hier_allreduce
+
+    flat_64 = run_hier_allreduce(64, hierarchical=False)
+    hier_64 = run_hier_allreduce(64)
+    gauges["allreduce_flat_64n_us"].set(flat_64)
+    gauges["allreduce_hier_64n_us"].set(hier_64)
+    gauges["allreduce_hier_128n_us"].set(run_hier_allreduce(128))
+    gauges["hier_allreduce_speedup_64n_x"].set(flat_64 / hier_64)
     # End-to-end scenario headlines last: run_scenario resets the plan
     # cache, so the microbenchmark values above stay untouched.
     from ..scenarios import run_scenario

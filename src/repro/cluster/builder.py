@@ -28,7 +28,7 @@ from ..hardware.node import Node
 from ..hardware.params import DEFAULT_NODE, NodeParams
 from ..hardware.sci.fabric import SCIFabric
 from ..hardware.sci.faults import FaultPlan
-from ..hardware.sci.ringlet import RingTopology, TorusTopology
+from ..hardware.sci.topology import RingTopology, Topology
 from ..mpi.comm import Communicator
 from ..mpi.pt2pt.config import DEFAULT_PROTOCOL, ProtocolConfig
 from ..mpi.pt2pt.engine import MPIWorld
@@ -95,7 +95,7 @@ class Cluster:
         procs_per_node: int = 1,
         node_params: NodeParams = DEFAULT_NODE,
         protocol: ProtocolConfig = DEFAULT_PROTOCOL,
-        topology: Optional[RingTopology | TorusTopology] = None,
+        topology: Optional[Topology] = None,
         mem_per_node: int = 96 * MiB,
         echo_ratio: float = 0.1,
         policy: Optional["TransferPolicy"] = None,

@@ -5,7 +5,9 @@ Layers, bottom-up:
 * :mod:`~repro.hardware.sci.transactions` — how CPU stores become PCI and
   SCI transactions (write-combining, stream buffers, natural alignment)
   and what PIO/DMA access runs cost.
-* :mod:`~repro.hardware.sci.ringlet` — ring/torus topology and routing.
+* :mod:`~repro.hardware.sci.topology` — the :class:`Topology` protocol
+  (routing, link identity, capacity, locality) and its implementations:
+  ring, torus, switched ring-of-rings, fat tree.
 * :mod:`~repro.hardware.sci.flows` — fluid bandwidth sharing with the
   congestion-response curve calibrated from the paper's Table 2.
 * :mod:`~repro.hardware.sci.fabric` — the operation facade (pio_write,
@@ -23,7 +25,6 @@ from .faults import (
     TornTransferError,
 )
 from .flows import Flow, FlowNetwork
-from .ringlet import RingTopology, Route, TorusTopology
 from .segments import (
     ImportedSegment,
     SCISegment,
@@ -32,6 +33,16 @@ from .segments import (
     SegmentUnmappedError,
     gather_run,
     scatter_run,
+)
+from .topology import (
+    TOPOLOGY_NAMES,
+    FatTree,
+    RingOfRings,
+    RingTopology,
+    Route,
+    Topology,
+    TorusTopology,
+    topology_from_name,
 )
 from .transactions import (
     AccessRun,
@@ -47,12 +58,14 @@ from .transactions import (
 
 __all__ = [
     "AccessRun",
+    "FatTree",
     "FaultEvent",
     "FaultKind",
     "FaultPlan",
     "Flow",
     "FlowNetwork",
     "ImportedSegment",
+    "RingOfRings",
     "RingTopology",
     "Route",
     "SCIConnectionError",
@@ -62,6 +75,8 @@ __all__ = [
     "SegmentDirectory",
     "SegmentError",
     "SegmentUnmappedError",
+    "TOPOLOGY_NAMES",
+    "Topology",
     "TornTransferError",
     "TorusTopology",
     "TxnSummary",
@@ -74,4 +89,5 @@ __all__ = [
     "scatter_run",
     "summarize_block",
     "summarize_run",
+    "topology_from_name",
 ]

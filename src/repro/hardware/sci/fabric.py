@@ -13,12 +13,12 @@ models free of numpy plumbing and vice versa.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Optional
 
 from ..params import DEFAULT_NODE, NodeParams
 from .faults import FaultKind, FaultPlan, SCITransientError, TornTransferError
 from .flows import FlowNetwork
-from .ringlet import RingTopology, Route, TorusTopology
+from .topology import Route, Topology
 from .transactions import (
     AccessRun,
     dma_cost,
@@ -30,8 +30,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ...sim import Engine
 
 __all__ = ["SCIFabric", "SCIConnectionError", "FABRIC_RANK"]
-
-Topology = Union[RingTopology, TorusTopology]
 
 #: Pseudo-rank fabric-level trace events are recorded under; the timeline
 #: exporter (:mod:`repro.obs.timeline`) routes these to per-ringlet tracks.
@@ -63,7 +61,8 @@ class SCIFabric:
         self.node_params = node_params
         self.per_node_params = dict(per_node_params or {})
         capacities = {
-            seg: node_params.link.bandwidth for seg in topology.segments()
+            seg: topology.link_capacity(seg, node_params.link.bandwidth)
+            for seg in topology.segments()
         }
         self.network = FlowNetwork(engine, capacities, echo_ratio=echo_ratio)
         self._failed_nodes: set[int] = set()
@@ -83,6 +82,10 @@ class SCIFabric:
         #: :data:`FABRIC_RANK` (with start/duration/ringlet detail).
         self.tracer = None
         self._ringlet_ids: dict = {}
+        #: Dense ringlet id -> human-readable track name, for topologies
+        #: that name their rings (the timeline exporter falls back to
+        #: ``ringlet <id>`` for ids not present here).
+        self.ringlet_labels: dict[int, str] = {}
         #: Perf counters (transfers and bytes by kind), for tests/reports.
         self.counters: dict[str, int] = {
             "pio_writes": 0,
@@ -145,17 +148,55 @@ class SCIFabric:
         self.fault_plan = plan
 
     def _ringlet_of(self, route: Route) -> int:
-        """Stable ringlet index of a route (the ring its data enters first).
+        """Stable ringlet index of a route, for the per-ringlet trace tracks.
 
-        A plain ring has one ringlet (0); a torus has one per
-        ``(dim, ring_key)`` pair, numbered in first-use order so ids are
-        deterministic for a given program.
+        A route that stays inside one ring belongs to the ring its data
+        enters first; a route that crosses a switch belongs to the switch
+        (its cross link's domain), so crossbar traffic gets its own
+        track.  The topology names each link's domain via
+        :meth:`~repro.hardware.sci.topology.Topology.ringlet_of`; keys are
+        numbered densely in first-use order so ids are deterministic for a
+        given program.
         """
         if not route.data_segments:
             return 0
-        seg = route.data_segments[0]
-        key = seg[:-1] if isinstance(seg, tuple) else "ring"
-        return self._ringlet_ids.setdefault(key, len(self._ringlet_ids))
+        link = next(
+            (seg for seg in route.data_segments
+             if self.topology.link_kind(seg) == "cross"),
+            route.data_segments[0],
+        )
+        key = self.topology.ringlet_of(link)
+        if key in self._ringlet_ids:
+            return self._ringlet_ids[key]
+        rid = self._ringlet_ids[key] = len(self._ringlet_ids)
+        label = self.topology.ringlet_label(key)
+        if label is not None:
+            self.ringlet_labels[rid] = label
+        return rid
+
+    def link_stats(self) -> dict[str, float]:
+        """Aggregate per-link saturation/byte statistics for observability.
+
+        Links are classified by the topology into ringlet-``local`` and
+        ``cross``-switch; the split is what shows a switched fabric's
+        crossbar saturating while ringlet-internal traffic stays cool.
+        A load of 1.0 is a link driven exactly at capacity; links whose
+        peak reached that are counted as saturated.
+        """
+        peaks = self.network.link_peak()
+        by_kind: dict[str, float] = {"local": 0.0, "cross": 0.0}
+        for link, peak in peaks.items():
+            kind = self.topology.link_kind(link)
+            if peak > by_kind.get(kind, 0.0):
+                by_kind[kind] = peak
+        return {
+            "count": float(len(peaks)),
+            "saturated": float(sum(1 for p in peaks.values() if p >= 1.0)),
+            "peak_load": max(peaks.values(), default=0.0),
+            "peak_local": by_kind["local"],
+            "peak_cross": by_kind["cross"],
+            "bytes": sum(self.network.link_bytes().values()),
+        }
 
     def _trace(self, kind: str, **detail) -> None:
         if self.tracer is not None:

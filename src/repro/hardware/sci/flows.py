@@ -1,23 +1,34 @@
-"""Fluid-flow bandwidth sharing on the SCI ring.
+"""Fluid-flow bandwidth sharing with per-link demand accounting.
 
-Concurrent transfers share ring segments.  This module models each transfer
+Concurrent transfers share fabric links.  This module models each transfer
 as a *fluid flow* with a per-flow injection-rate cap (set by the PIO/DMA
-cost model) routed over a set of segments.  Whenever a flow starts or
-finishes, every flow's rate is recomputed:
+cost model) routed over a set of links (the topology's hashable link ids —
+ring segments, torus ringlet arcs, crossbar egress ports, fat-tree
+up/down cables alike).  Whenever a flow starts or finishes, every flow's
+rate is recomputed:
 
-    rate_i = cap_i * min over segments s on i's data route of frac(load_s)
+    rate_i = cap_i * min over links l on i's data route of frac(load_l)
 
-where ``load_s`` is the aggregate demand on segment *s* relative to the
-nominal link bandwidth and ``frac`` is the congestion-response curve
-calibrated from Table 2 of the paper (see
+where ``load_l`` is the aggregate demand on link *l* relative to that
+link's capacity and ``frac`` is the congestion-response curve calibrated
+from Table 2 of the paper (see
 :data:`repro.hardware.params.CONGESTION_CURVE`).  Past saturation, SCI's
 retry traffic makes *delivered* bandwidth fall as offered load rises —
-the curve captures exactly that.
+the curve captures exactly that.  Because demand and saturation are
+accounted **per link**, a saturated cross-switch port throttles only the
+flows that actually cross it; ringlet-local traffic on other links is
+untouched.
 
-Echo (flow-control) traffic returns over the rest of the ring and is added
-to segment demand with a configurable ratio, reproducing the paper's
+Echo (flow-control) traffic returns over the route's echo links and is
+added to link demand with a configurable ratio, reproducing the paper's
 observation that ring traffic rises with flow-control packets even when no
 data segment is shared.
+
+Besides the live rates, the network keeps passive per-link statistics —
+peak relative load and cumulative delivered bytes (:meth:`FlowNetwork.link_peak`,
+:meth:`FlowNetwork.link_bytes`) — which the fabric aggregates into the
+``fabric.link_*`` observability metrics.  The statistics are recorded on
+the side of the existing rate computation and never feed back into it.
 """
 
 from __future__ import annotations
@@ -25,7 +36,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..params import congestion_fraction
-from .ringlet import Route
+from .topology import Route
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ...sim import Engine, Event
@@ -80,6 +91,8 @@ class FlowNetwork:
         self._flows: dict[int, Flow] = {}
         self._next_id = 0
         self._last_update = engine.now
+        self._peak_load: dict[object, float] = {seg: 0.0 for seg in capacities}
+        self._link_bytes: dict[object, float] = {seg: 0.0 for seg in capacities}
 
     @property
     def active_flows(self) -> int:
@@ -110,8 +123,8 @@ class FlowNetwork:
         self._recompute()
         return done
 
-    def segment_demand(self) -> dict[object, float]:
-        """Current demand (B/µs) per segment, data + echo."""
+    def link_demand(self) -> dict[object, float]:
+        """Current demand (B/µs) per link, data + echo."""
         demand: dict[object, float] = {seg: 0.0 for seg in self.capacities}
         for flow in self._flows.values():
             for seg in flow.route.data_segments:
@@ -120,11 +133,23 @@ class FlowNetwork:
                 demand[seg] += flow.rate_cap * self.echo_ratio
         return demand
 
-    def segment_load(self) -> dict[object, float]:
-        """Demand relative to nominal capacity per segment."""
+    def link_load(self) -> dict[object, float]:
+        """Demand relative to capacity per link."""
         return {
-            seg: d / self.capacities[seg] for seg, d in self.segment_demand().items()
+            seg: d / self.capacities[seg] for seg, d in self.link_demand().items()
         }
+
+    def link_peak(self) -> dict[object, float]:
+        """Highest relative load each link has seen so far."""
+        return dict(self._peak_load)
+
+    def link_bytes(self) -> dict[object, float]:
+        """Cumulative data bytes delivered across each link so far."""
+        return dict(self._link_bytes)
+
+    # Historical names from the single-ring era.
+    segment_demand = link_demand
+    segment_load = link_load
 
     # -- internals ------------------------------------------------------------
 
@@ -133,16 +158,24 @@ class FlowNetwork:
         elapsed = self.engine.now - self._last_update
         if elapsed > 0:
             for flow in self._flows.values():
-                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+                delivered = min(flow.remaining, flow.rate * elapsed)
+                flow.remaining -= delivered
+                if delivered > 0:
+                    for seg in flow.route.data_segments:
+                        self._link_bytes[seg] += delivered
         self._last_update = self.engine.now
 
     def _recompute(self) -> None:
         """Recompute every flow's rate and (re)schedule completions."""
-        demand = self.segment_demand()
+        demand = self.link_demand()
         frac = {
             seg: self.response(d / self.capacities[seg])
             for seg, d in demand.items()
         }
+        for seg, d in demand.items():
+            load = d / self.capacities[seg]
+            if load > self._peak_load[seg]:
+                self._peak_load[seg] = load
         for flow in self._flows.values():
             throttle = min(frac[s] for s in flow.route.data_segments)
             flow.rate = flow.rate_cap * throttle
@@ -159,6 +192,11 @@ class FlowNetwork:
         if flow.version != version or flow.flow_id not in self._flows:
             return  # stale timer from before a rate change
         self._advance()
+        if flow.remaining > 0:
+            # Float residue from the rate/delay round-trip: the flow is
+            # done, so credit the remainder to its links before zeroing.
+            for seg in flow.route.data_segments:
+                self._link_bytes[seg] += flow.remaining
         flow.remaining = 0.0
         del self._flows[flow.flow_id]
         flow.done.succeed()

@@ -1,145 +1,14 @@
-"""SCI ring topology and routing.
+"""Compatibility re-exports — topologies live in :mod:`.topology` now.
 
-An SCI ringlet is a unidirectional ring of point-to-point links
-("segments"): the output of node *i* feeds the input of node *i+1 mod N*.
-A transfer from *src* to *dst* occupies every segment on the forward arc
-from *src* to *dst*; the flow-control echo returns over the remaining arc
-(completing the loop), which is why even a neighbour-to-neighbour transfer
-puts some traffic on every segment of the ring (Sec. 5.3).
-
-The paper also mentions 3-D torus topologies built from ringlets for large
-systems; :class:`TorusTopology` models the per-dimension-ring routing those
-use (one ringlet per dimension crossed, dimension order).
+The ring/torus implementations (and the :class:`Route` dataclass) moved to
+:mod:`repro.hardware.sci.topology` when the fabric gained the first-class
+:class:`~repro.hardware.sci.topology.Topology` protocol (switched
+multi-ringlet fabrics, fat trees).  Import from there in new code; this
+module keeps the historical import path working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from .topology import RingTopology, Route, TorusTopology
 
 __all__ = ["RingTopology", "TorusTopology", "Route"]
-
-
-@dataclass(frozen=True)
-class Route:
-    """Segments a transfer occupies: forward (data) and return (echo) arcs.
-
-    Segment identifiers are hashable tokens; for a ring, segment ``i`` is
-    the link from node ``i`` to node ``i+1 mod N``.
-    """
-
-    data_segments: tuple[object, ...]
-    echo_segments: tuple[object, ...]
-
-    @property
-    def hops(self) -> int:
-        return len(self.data_segments)
-
-
-class RingTopology:
-    """A single unidirectional SCI ringlet of ``n_nodes`` nodes."""
-
-    def __init__(self, n_nodes: int):
-        if n_nodes < 1:
-            raise ValueError(f"need at least 1 node, got {n_nodes}")
-        self.n_nodes = n_nodes
-
-    def segments(self) -> list[int]:
-        """All segment ids (segment i: node i -> node i+1 mod N)."""
-        return list(range(self.n_nodes))
-
-    def distance(self, src: int, dst: int) -> int:
-        """Number of segments the data crosses from src to dst."""
-        self._check(src)
-        self._check(dst)
-        return (dst - src) % self.n_nodes
-
-    def route(self, src: int, dst: int) -> Route:
-        """Data and echo segments for a transfer src -> dst."""
-        self._check(src)
-        self._check(dst)
-        if src == dst:
-            return Route((), ())
-        d = self.distance(src, dst)
-        data = tuple((src + k) % self.n_nodes for k in range(d))
-        echo = tuple((dst + k) % self.n_nodes for k in range(self.n_nodes - d))
-        return Route(data, echo)
-
-    def _check(self, node: int) -> None:
-        if not 0 <= node < self.n_nodes:
-            raise ValueError(f"node {node} outside ring of {self.n_nodes}")
-
-    def __repr__(self) -> str:
-        return f"RingTopology(n_nodes={self.n_nodes})"
-
-
-class TorusTopology:
-    """A k-dimensional torus of ringlets (dimension-order routing).
-
-    Node ids are flat integers; ``dims`` gives the ring length per
-    dimension.  Each dimension contributes an independent set of ringlets;
-    a transfer crosses, per dimension where coordinates differ, the forward
-    arc of the ringlet shared by the two coordinates (all other coordinates
-    already routed, dimension order).  This is the "512 nodes with 8-node
-    ringlets in a 3D-torus" configuration from the paper's outlook.
-    """
-
-    def __init__(self, dims: tuple[int, ...]):
-        if not dims or any(d < 1 for d in dims):
-            raise ValueError(f"invalid torus dims: {dims}")
-        self.dims = tuple(dims)
-        self.n_nodes = 1
-        for d in self.dims:
-            self.n_nodes *= d
-
-    def coords(self, node: int) -> tuple[int, ...]:
-        if not 0 <= node < self.n_nodes:
-            raise ValueError(f"node {node} outside torus of {self.n_nodes}")
-        out = []
-        for d in self.dims:
-            out.append(node % d)
-            node //= d
-        return tuple(out)
-
-    def node_at(self, coords: tuple[int, ...]) -> int:
-        if len(coords) != len(self.dims):
-            raise ValueError("coordinate rank mismatch")
-        node = 0
-        mult = 1
-        for c, d in zip(coords, self.dims):
-            if not 0 <= c < d:
-                raise ValueError(f"coordinate {c} outside dimension of size {d}")
-            node += c * mult
-            mult *= d
-        return node
-
-    def segments(self) -> list[tuple]:
-        """All segment ids: (dim, ring_key, position)."""
-        out: list[tuple] = []
-        for node in range(self.n_nodes):
-            c = self.coords(node)
-            for dim, size in enumerate(self.dims):
-                if size > 1:
-                    ring_key = tuple(v for i, v in enumerate(c) if i != dim)
-                    out.append((dim, ring_key, c[dim]))
-        return out
-
-    def distance(self, src: int, dst: int) -> int:
-        cs, cd = self.coords(src), self.coords(dst)
-        return sum((cd[i] - cs[i]) % self.dims[i] for i in range(len(self.dims)))
-
-    def route(self, src: int, dst: int) -> Route:
-        cs, cd = self.coords(src), self.coords(dst)
-        data: list[tuple] = []
-        echo: list[tuple] = []
-        current = list(cs)
-        for dim, size in enumerate(self.dims):
-            if cs[dim] == cd[dim] or size == 1:
-                continue
-            ring_key = tuple(v for i, v in enumerate(current) if i != dim)
-            d = (cd[dim] - current[dim]) % size
-            for k in range(d):
-                data.append((dim, ring_key, (current[dim] + k) % size))
-            for k in range(size - d):
-                echo.append((dim, ring_key, (cd[dim] + k) % size))
-            current[dim] = cd[dim]
-        return Route(tuple(data), tuple(echo))

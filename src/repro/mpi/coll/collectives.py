@@ -15,6 +15,17 @@ memory; no staging copy).  The ring allgather and the pairwise alltoall
 are already pipelined at message granularity, so the default policy
 keeps them monolithic.
 
+On switched multi-ringlet fabrics (any
+:class:`~repro.hardware.sci.topology.Topology` with more than one
+locality domain), ``bcast`` and ``allreduce`` switch to *hierarchical*
+algorithms when the policy's ``hierarchical_collective`` approves:
+ranks aggregate within their ringlet first, group leaders exchange
+across the switch (one message per ringlet instead of one per rank on
+the scarce crossbar links, chunk-pipelined past
+``policy.cross_chunk``), and leaders fan the result back out
+ringlet-locally.  Single-domain topologies — the plain ring — always
+take the flat algorithms, bit-identically to the pre-topology code.
+
 All functions are DES generators taking the caller's Communicator.
 Reduction operates on numpy-typed views.
 """
@@ -97,15 +108,163 @@ def _collective_chunk(comm: "Communicator", buf: "Buffer", datatype,
     return dtype, count, total, chunk
 
 
+def _topology_groups(comm: "Communicator") -> Optional[list[list[int]]]:
+    """Comm-local ranks per fabric locality domain, ordered by group id.
+
+    Groups come from the topology's ``node_group`` (the ringlet / leaf
+    switch each rank's node sits on); ``None`` means the fabric has a
+    single domain and the flat algorithms apply.
+    """
+    topology = comm.device.smi.fabric.topology
+    groups: dict[int, list[int]] = {}
+    for local, world_rank in enumerate(comm.group):
+        node = comm.device.smi.node_of(world_rank)
+        groups.setdefault(topology.node_group(node.node_id), []).append(local)
+    if len(groups) < 2:
+        return None
+    return [groups[g] for g in sorted(groups)]
+
+
+def _hier_groups(comm: "Communicator", kind: str,
+                 nbytes: int) -> Optional[list[list[int]]]:
+    """The locality groups if this collective should run hierarchically."""
+    groups = _topology_groups(comm)
+    if groups is None:
+        return None
+    policy = comm.device.policy
+    if not policy.hierarchical_collective(kind, nbytes, comm.size, len(groups)):
+        return None
+    return groups
+
+
+def _member_bcast(comm: "Communicator", buf: "Buffer", members: list[int],
+                  root: int, tag: int, datatype=None,
+                  count: Optional[int] = None, chunk: Optional[int] = None,
+                  total: Optional[int] = None):
+    """Broadcast over an explicit member list (comm-local ranks).
+
+    Binomial tree by default; with ``chunk`` (and at least three members
+    to pipeline through), a chain-pipelined segment stream like
+    :func:`_bcast_chained` but confined to ``members``.
+    """
+    m = len(members)
+    if m == 1:
+        return
+    idx = members.index(comm.rank)
+    root_idx = members.index(root)
+    relative = (idx - root_idx) % m
+    if chunk is not None and m >= 3 and total is not None and chunk < total:
+        prev = members[(idx - 1) % m]
+        nxt = members[(idx + 1) % m]
+        pending = None
+        pos = 0
+        while pos < total:
+            n = min(chunk, total - pos)
+            seg = (pos, n)
+            if relative != 0:
+                yield from comm.recv(buf, source=prev, tag=tag,
+                                     datatype=datatype, count=count,
+                                     segment=seg)
+            if relative != m - 1:
+                if pending is not None:
+                    yield from pending.wait()
+                pending = comm.isend(buf, nxt, tag=tag, datatype=datatype,
+                                     count=count, segment=seg)
+            pos += n
+        if pending is not None:
+            yield from pending.wait()
+        return
+    mask = 1
+    while mask < m:
+        if relative & mask:
+            parent = members[((relative & ~mask) + root_idx) % m]
+            yield from comm.recv(buf, source=parent, tag=tag,
+                                 datatype=datatype, count=count)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        child_rel = relative | mask
+        if child_rel != relative and child_rel < m:
+            child = members[(child_rel + root_idx) % m]
+            yield from comm.send(buf, child, tag=tag, datatype=datatype,
+                                 count=count)
+        mask >>= 1
+
+
+def _member_reduce(comm: "Communicator", acc: np.ndarray, nbytes: int,
+                   members: list[int], root: int, op: str,
+                   datatype: BasicType, tag: int):
+    """Binomial reduction of ``acc`` over ``members`` to ``root``.
+
+    Returns the (possibly updated) accumulator; only the root's value is
+    the full reduction.
+    """
+    m = len(members)
+    if m == 1:
+        return acc
+    idx = members.index(comm.rank)
+    root_idx = members.index(root)
+    relative = (idx - root_idx) % m
+    scratch = comm.alloc_scratch(nbytes)
+    mask = 1
+    while mask < m:
+        if relative & mask:
+            parent = members[((relative & ~mask) + root_idx) % m]
+            scratch.write(acc.view(np.uint8))
+            yield from comm.send(scratch, parent, tag=tag,
+                                 datatype=BYTE, count=nbytes)
+            break
+        child_rel = relative | mask
+        if child_rel < m:
+            child = members[(child_rel + root_idx) % m]
+            yield from comm.recv(scratch, source=child, tag=tag,
+                                 datatype=BYTE, count=nbytes)
+            incoming = np.array(scratch.read(0, nbytes), copy=True).view(
+                datatype.np_dtype
+            )
+            acc = OPS[op](acc, incoming)
+        mask <<= 1
+    return acc
+
+
+def _bcast_hier(comm: "Communicator", buf: "Buffer", root: int, datatype,
+                count: Optional[int], total: int, groups: list[list[int]]):
+    """Hierarchical broadcast: root -> group leaders -> ringlet-local.
+
+    The cross-switch stage moves one message per ringlet over the scarce
+    crossbar/spine links (chunk-pipelined when the payload warrants it);
+    each leader then fans out inside its own ringlet.
+    """
+    rank = comm.rank
+    my_group = next(g for g in groups if rank in g)
+    root_group = next(g for g in groups if root in g)
+    # The root speaks for its own group on the cross-switch stage.
+    leaders = [root if g is root_group else g[0] for g in groups]
+    if rank in leaders:
+        chunk = comm.device.policy.cross_switch_chunk(total)
+        yield from _member_bcast(comm, buf, leaders, root, COLL_TAG + 9,
+                                 datatype=datatype, count=count,
+                                 chunk=chunk, total=total)
+    my_leader = leaders[groups.index(my_group)]
+    yield from _member_bcast(comm, buf, my_group, my_leader, COLL_TAG + 10,
+                             datatype=datatype, count=count)
+
+
 def bcast(comm: "Communicator", buf: "Buffer", root: int = 0,
           datatype=None, count: Optional[int] = None):
-    """Broadcast: binomial tree, or a chain-pipelined segment stream when
-    the transfer policy asks for chunking."""
+    """Broadcast: binomial tree, a chain-pipelined segment stream when
+    the transfer policy asks for chunking, or the hierarchical algorithm
+    on multi-ringlet topologies."""
     size = comm.size
     if size == 1:
         return
         yield  # pragma: no cover - generator marker
     dtype, rcount, total, chunk = _collective_chunk(comm, buf, datatype, count)
+    groups = _hier_groups(comm, "bcast", total) if total > 0 else None
+    if groups is not None:
+        yield from _bcast_hier(comm, buf, root, dtype, rcount, total, groups)
+        return
     if chunk is not None:
         yield from _bcast_chained(comm, buf, root, dtype, rcount, total, chunk)
         return
@@ -204,12 +363,52 @@ def reduce(comm: "Communicator", sendbuf: "Buffer", recvbuf: Optional["Buffer"],
     return None
 
 
+def _allreduce_hier(comm: "Communicator", sendbuf: "Buffer",
+                    recvbuf: "Buffer", op: str, datatype: BasicType,
+                    count: int, groups: list[list[int]]):
+    """Hierarchical allreduce: ringlet-local reduce, leader exchange,
+    ringlet-local bcast.
+
+    Each ringlet reduces to its leader without touching a cross-switch
+    link; leaders then allreduce among themselves (one payload per
+    ringlet across the crossbar, chunk-pipelined when large) and fan the
+    result back out locally.
+    """
+    nbytes = count * datatype.size
+    rank = comm.rank
+    my_group = next(g for g in groups if rank in g)
+    leader = my_group[0]
+    leaders = [g[0] for g in groups]
+    acc = np.array(sendbuf.read(0, nbytes), copy=True).view(datatype.np_dtype)
+    acc = yield from _member_reduce(comm, acc, nbytes, my_group, leader,
+                                    op, datatype, COLL_TAG + 8)
+    if rank == leader:
+        acc = yield from _member_reduce(comm, acc, nbytes, leaders,
+                                        leaders[0], op, datatype,
+                                        COLL_TAG + 9)
+        recvbuf.write(np.ascontiguousarray(acc).view(np.uint8))
+        chunk = comm.device.policy.cross_switch_chunk(nbytes)
+        yield from _member_bcast(comm, recvbuf, leaders, leaders[0],
+                                 COLL_TAG + 9, datatype=BYTE, count=nbytes,
+                                 chunk=chunk, total=nbytes)
+    yield from _member_bcast(comm, recvbuf, my_group, leader, COLL_TAG + 10,
+                             datatype=BYTE, count=nbytes)
+
+
 def allreduce(comm: "Communicator", sendbuf: "Buffer", recvbuf: "Buffer",
               op: str = "sum", datatype: BasicType = DOUBLE,
               count: Optional[int] = None):
-    """Reduce to rank 0 then broadcast."""
+    """Reduce to rank 0 then broadcast; hierarchical on multi-ringlet
+    topologies (see :func:`_allreduce_hier`)."""
+    if op not in OPS:
+        raise ValueError(f"unknown reduction op {op!r}")
     if count is None:
         count = sendbuf.nbytes // datatype.size
+    groups = _hier_groups(comm, "allreduce", count * datatype.size)
+    if groups is not None:
+        yield from _allreduce_hier(comm, sendbuf, recvbuf, op, datatype,
+                                   count, groups)
+        return
     yield from reduce(comm, sendbuf, recvbuf, root=0, op=op,
                       datatype=datatype, count=count)
     yield from bcast(comm, recvbuf, root=0, datatype=BYTE,

@@ -104,6 +104,15 @@ class TransferPolicy:
     #: transaction beats an interrupt round-trip regardless of the
     #: coarse put/get split (the ``repro.svc`` slot accesses live here).
     small_rma_threshold: int = 256
+    #: Use hierarchical collective algorithms (ringlet-local aggregation
+    #: before cross-switch hops) on topologies with more than one
+    #: locality domain.  Single-domain topologies (plain ring) always
+    #: run the flat algorithms regardless of this flag.
+    hier_collectives: bool = True
+    #: Segment size for the cross-switch leader stage of hierarchical
+    #: collectives: crossbar/spine hops are the scarce links, so leader
+    #: exchanges pipeline in chunks of this size once payloads exceed it.
+    cross_chunk: int = 128 * 1024
 
     def bind(self, config: ProtocolConfig) -> "TransferPolicy":
         """This policy rebound to another protocol config (keeps subclass)."""
@@ -222,6 +231,35 @@ class TransferPolicy:
         """
         return None
 
+    def hierarchical_collective(self, kind: str, nbytes: int, size: int,
+                                n_groups: int) -> bool:
+        """Run ``kind`` (``bcast`` / ``allreduce``) hierarchically?
+
+        Hierarchical algorithms aggregate within each locality domain
+        (ringlet, leaf switch) before touching a cross-switch link, so
+        the scarce crossbar carries one message per group instead of one
+        per rank.  They only exist where the topology *has* groups: on a
+        single-domain topology (``n_groups <= 1``) this always returns
+        ``False`` and the flat algorithms run bit-identically to the
+        pre-topology code.  A group must also be non-trivial on average
+        (``size > n_groups``) for local aggregation to save anything.
+        """
+        del kind, nbytes
+        if not self.hier_collectives or n_groups <= 1:
+            return False
+        return size > n_groups
+
+    def cross_switch_chunk(self, nbytes: int) -> Optional[int]:
+        """Pipeline chunk for cross-switch leader exchanges, or ``None``.
+
+        Below ``cross_chunk`` the handshake overhead of segmenting beats
+        any overlap; above it, chunking lets a leader forward segment
+        ``k`` while receiving ``k + 1`` across the switch.
+        """
+        if nbytes <= self.cross_chunk:
+            return None
+        return self.cross_chunk
+
     # -- observability -------------------------------------------------------------
 
     def describe(self) -> dict[str, int]:
@@ -239,6 +277,8 @@ class TransferPolicy:
             "direct_min_block": cfg.direct_min_block,
             "remote_put_threshold": cfg.remote_put_threshold,
             "small_rma_threshold": self.small_rma_threshold,
+            "hier_collectives": int(self.hier_collectives),
+            "cross_chunk": self.cross_chunk,
         }
 
 

@@ -27,6 +27,7 @@ import numpy as np
 from .._units import KiB
 from ..cluster import Cluster
 from ..hardware.sci.faults import FaultPlan
+from ..hardware.sci.topology import TOPOLOGY_NAMES, topology_from_name
 from ..mpi.datatypes import BYTE, Vector
 from ..mpi.pt2pt.config import DEFAULT_PROTOCOL
 from ..trace import attach_tracer
@@ -126,7 +127,8 @@ SCENARIOS = {
 
 
 def run_scenario(scenario: str, size: int = 256 * KiB, nodes: int = 0,
-                 mode: str = "", faults_seed: int | None = None):
+                 mode: str = "", faults_seed: int | None = None,
+                 topology: str = ""):
     """Run one scenario traced; returns ``(cluster, tracer, registry)``."""
     program, default_nodes = SCENARIOS[scenario](size)
     config = DEFAULT_PROTOCOL.with_mode(mode) if mode else DEFAULT_PROTOCOL
@@ -134,8 +136,10 @@ def run_scenario(scenario: str, size: int = 256 * KiB, nodes: int = 0,
     if faults_seed is not None:
         faults = FaultPlan(seed=faults_seed, transient_rate=0.2,
                            torn_rate=0.2, stall_rate=0.1)
-    cluster = Cluster(n_nodes=nodes or default_nodes, protocol=config,
-                      faults=faults)
+    n_nodes = nodes or default_nodes
+    cluster = Cluster(n_nodes=n_nodes, protocol=config, faults=faults,
+                      topology=(topology_from_name(topology, n_nodes)
+                                if topology else None))
     tracer = attach_tracer(cluster)
     registry = cluster.metrics
     attach_span_metrics(tracer, registry)
@@ -159,6 +163,10 @@ def main(argv=None) -> int:
     parser.add_argument("--faults-seed", type=int, default=None,
                         help="install a seeded FaultPlan (recovery spans "
                              "and fault events appear in the timeline)")
+    parser.add_argument("--topology", choices=TOPOLOGY_NAMES, default="",
+                        help="fabric topology sized for the cluster "
+                             "(default: single ring); per-ringlet and "
+                             "per-switch tracks appear in the trace")
     parser.add_argument("--trace", metavar="PATH", default="trace.json",
                         help="Chrome trace_event output (default: trace.json)")
     parser.add_argument("--metrics", metavar="PATH", default="metrics.json",
@@ -169,7 +177,7 @@ def main(argv=None) -> int:
 
     cluster, tracer, registry = run_scenario(
         args.scenario, size=args.size, nodes=args.nodes, mode=args.mode,
-        faults_seed=args.faults_seed,
+        faults_seed=args.faults_seed, topology=args.topology,
     )
 
     other_data = {
@@ -177,6 +185,7 @@ def main(argv=None) -> int:
         "size": args.size,
         "nodes": cluster.n_ranks,
         "mode": args.mode or cluster.world.config.noncontig_mode,
+        "topology": cluster.fabric.topology.describe(),
     }
     plan = cluster.fabric.fault_plan
     if plan is not None:

@@ -94,9 +94,11 @@ def chrome_trace(tracer: "Tracer",
     if ringlets:
         events.append(_meta("process_name", _FABRIC_PID,
                             args={"name": "fabric"}))
+        labels = getattr(tracer, "ringlet_labels", {})
         for ringlet in ringlets:
+            name = labels.get(ringlet, f"ringlet {ringlet}")
             events.append(_meta("thread_name", _FABRIC_PID, tid=ringlet,
-                                args={"name": f"ringlet {ringlet}"}))
+                                args={"name": name}))
 
     for ev in tracer.events:
         events.append(_convert(ev))

@@ -38,7 +38,10 @@ _OSC_COUNTERS = ("direct_puts", "direct_gets", "remote_puts",
                  "emulated_puts", "emulated_gets", "accumulates")
 _POLICY_KNOBS = ("short_threshold", "eager_threshold", "eager_slots",
                  "rendezvous_chunk", "direct_min_block",
-                 "remote_put_threshold", "small_rma_threshold")
+                 "remote_put_threshold", "small_rma_threshold",
+                 "hier_collectives", "cross_chunk")
+_LINK_STATS = ("count", "saturated", "peak_load", "peak_local",
+               "peak_cross", "bytes")
 
 
 def _summed(dicts, keys, prefix: str):
@@ -79,6 +82,11 @@ def build_registry(cluster: "Cluster") -> MetricsRegistry:
     registry.register_collector(
         [f"fabric.{key}" for key in _FABRIC_COUNTERS],
         lambda: _summed([fabric.counters], _FABRIC_COUNTERS, "fabric"),
+    )
+    registry.register_collector(
+        [f"fabric.link_{key}" for key in _LINK_STATS],
+        lambda: {f"fabric.link_{key}": value
+                 for key, value in fabric.link_stats().items()},
     )
     registry.register_collector(
         [f"plan_cache.{key}" for key in _PLAN_CACHE_STATS],

@@ -9,8 +9,8 @@ from .base import (SCENARIO_COUNTERS, SCENARIO_HISTOGRAMS, Scenario,
                    ScenarioRun, canonical, check_invariants, get_scenario,
                    register_scenario, run_scenario, scenario_fault_plan,
                    scenario_names)
-from .colocation import (ColocationScenario, HaloConfig, halo_program,
-                         run_halo_standalone)
+from .colocation import (ColocationRingsScenario, ColocationScenario,
+                         HaloConfig, halo_program, run_halo_standalone)
 from .graph import GraphScenario
 from .tasks import WorkStealingScenario, task_costs
 from .training import TrainingScenario
@@ -18,6 +18,7 @@ from .training import TrainingScenario
 __all__ = [
     "SCENARIO_COUNTERS",
     "SCENARIO_HISTOGRAMS",
+    "ColocationRingsScenario",
     "ColocationScenario",
     "GraphScenario",
     "HaloConfig",

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..cluster import Cluster
 from ..hardware.sci.faults import FaultPlan
+from ..hardware.sci.topology import Topology
 from ..mpi.flatten import reset_plan_cache
 from ..obs.hooks import attach_span_metrics
 from ..trace import Tracer, attach_tracer
@@ -196,6 +197,16 @@ class Scenario:
 
     def n_steps(self, params: ScenarioParams) -> int:
         return params.steps or self.default_steps
+
+    def topology(self, params: ScenarioParams) -> Optional[Topology]:
+        """The fabric topology of this cell (None = the default ring).
+
+        Scenarios that pin tenants to ringlets or exercise switched
+        fabrics override this; the driver hands the instance straight to
+        :class:`~repro.cluster.Cluster`.  Whatever shapes the topology
+        (ringlet counts, switch capacity) must be derived from ``params``
+        only, so the cell stays byte-deterministic."""
+        return None
 
     def resolve(self, params: ScenarioParams) -> dict:
         """Concrete problem sizing for ``params`` (JSON-ready)."""
@@ -371,7 +382,8 @@ def run_scenario(name: str, params: Optional[ScenarioParams] = None,
     reset_plan_cache()
 
     faults = scenario_fault_plan(name, params.seed) if params.faults else None
-    cluster = Cluster(n_nodes=scenario.n_ranks(params), faults=faults)
+    cluster = Cluster(n_nodes=scenario.n_ranks(params), faults=faults,
+                      topology=scenario.topology(params))
     tracer = attach_tracer(cluster)
     registry = cluster.metrics
     attach_span_metrics(tracer, registry)

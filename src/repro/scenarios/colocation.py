@@ -38,18 +38,28 @@ import numpy as np
 
 from ..apps.halo import HaloExchanger
 from ..cluster import Cluster
+from ..hardware.sci.topology import RingOfRings, Topology
 from ..svc.shard import ShardMap
 from ..svc.store import RmaKvStore, SvcInstruments, slot_bytes
 from ..svc.workload import WorkloadSpec, client_ops, replay
 from .base import (Scenario, ScenarioError, ScenarioInstruments,
                    ScenarioParams, register_scenario)
 
-__all__ = ["ColocationScenario", "HaloConfig", "halo_program",
-           "run_halo_standalone"]
+__all__ = ["ColocationRingsScenario", "ColocationScenario", "HaloConfig",
+           "halo_program", "run_halo_standalone"]
 
 #: Ranks the halo tenant always occupies (a (1, 2, 2) mesh).
 HALO_RANKS = 4
 N_SERVERS = 2
+
+#: Ringlet size of the switched co-location variant (both tenants get
+#: half of each ringlet, so both straddle the crossbar).
+RINGLET_SIZE = 4
+
+#: The variant's crossbar ports run at half the ringlet link bandwidth —
+#: the (realistic) regime where contending cross-switch traffic
+#: saturates the switch while ringlet-local links stay below capacity.
+SWITCH_CAPACITY = 0.5
 
 
 @dataclass(frozen=True)
@@ -204,6 +214,15 @@ class ColocationScenario(Scenario):
     def _halo_config(self, params: ScenarioParams) -> HaloConfig:
         return HaloConfig(steps=self.n_steps(params))
 
+    def _kv_ranks(self, n_ranks: int, n_kv: int) -> tuple[int, ...]:
+        """World ranks of the KV tenant, ascending.
+
+        The split communicator orders by world rank, so the first
+        ``N_SERVERS`` ranks returned here become the shard servers.
+        Topology-aware subclasses override this to pin tenant halves to
+        specific ringlets."""
+        return tuple(range(n_kv))
+
     def resolve(self, params: ScenarioParams) -> dict:
         n_ranks, n_clients = self._shape(params)
         return {
@@ -276,9 +295,13 @@ class ColocationScenario(Scenario):
             yield from win.fence()
             return {"kv_ops": ops_done}
 
+        kv_ranks = frozenset(self._kv_ranks(n_ranks, n_kv))
+        halo_index = {rank: i for i, rank in enumerate(
+            r for r in range(n_ranks) if r not in kv_ranks)}
+
         def program(ctx):
             rank = ctx.comm.rank
-            color = 0 if rank < n_kv else 1
+            color = 0 if rank in kv_ranks else 1
             sub = yield from ctx.comm.split(color, key=rank)
             if color == 0:
                 result = yield from kv_program(sub, ctx)
@@ -289,7 +312,7 @@ class ColocationScenario(Scenario):
 
         run = cluster.run(program)
 
-        halo_blocks = {r["rank"] - n_kv: r["block"]
+        halo_blocks = {halo_index[r["rank"]]: r["block"]
                        for r in run.results if r["tenant"] == "halo"}
         expected_blocks = _host_halo(config)
         halo_exact = all(
@@ -313,3 +336,51 @@ class ColocationScenario(Scenario):
         return max(snapshot["svc.read_latency_us.p99"],
                    snapshot["svc.write_latency_us.p99"],
                    snapshot["svc.incr_latency_us.p99"])
+
+
+@register_scenario
+class ColocationRingsScenario(ColocationScenario):
+    """The co-location cell on a switched two-ringlet fabric.
+
+    Same tenants, same workloads, but the cluster runs on a
+    :class:`~repro.hardware.sci.topology.RingOfRings` of two 4-node
+    ringlets, and the tenant halves are pinned so *both* tenants straddle
+    the crossbar: KV servers sit in ringlet 0 and KV clients in
+    ringlet 1 (every service op crosses the switch), and the halo mesh
+    splits its ``(1, 2, 2)`` y-dimension across the ringlets (its
+    y-faces cross, its x-faces stay ringlet-local).  The cell is the
+    regression net for per-link accounting: cross-switch links run far
+    hotter than ringlet-local ones, which the ``fabric.link_*`` metrics
+    and the per-ringlet Perfetto tracks must show.
+    """
+
+    name = "colocation_rings"
+    description = ("co-location on a switched two-ringlet fabric: both "
+                   "tenants straddle the crossbar and contend on the "
+                   "cross-switch links")
+    headline_metric = "scenario_coloc_rings_p99_us"
+
+    def _shape(self, params: ScenarioParams):
+        n_ranks, n_clients = super()._shape(params)
+        if n_ranks != 2 * RINGLET_SIZE:
+            raise ScenarioError(
+                f"colocation_rings runs on exactly {2 * RINGLET_SIZE} ranks "
+                f"(two {RINGLET_SIZE}-node ringlets), got {n_ranks}"
+            )
+        return n_ranks, n_clients
+
+    def topology(self, params: ScenarioParams) -> Topology:
+        n_ranks, _ = self._shape(params)
+        return RingOfRings(n_ranks // RINGLET_SIZE, RINGLET_SIZE,
+                           switch_capacity=SWITCH_CAPACITY)
+
+    def _kv_ranks(self, n_ranks: int, n_kv: int) -> tuple[int, ...]:
+        # Servers head ringlet 0, clients head ringlet 1 — the KV
+        # tenant's every op crosses the switch.  The ringlet tails
+        # (2, 3, 6, 7) fall to the halo mesh, splitting it y-wise.
+        return tuple(range(N_SERVERS)) + tuple(
+            range(RINGLET_SIZE, RINGLET_SIZE + n_kv - N_SERVERS))
+
+    def resolve(self, params: ScenarioParams) -> dict:
+        return {**super().resolve(params),
+                "topology": self.topology(params).describe()}

@@ -80,6 +80,11 @@ class Tracer:
         #: counters the summary reports (None for a standalone tracer).
         self._devices: list = []
         self._fabric = None
+        #: Wired by :func:`attach_tracer` to the fabric's live
+        #: ``ringlet_labels`` mapping (dense ringlet id -> track name);
+        #: the timeline exporter names fabric tracks from it and falls
+        #: back to ``ringlet <id>`` for unnamed ids.
+        self.ringlet_labels: dict[int, str] = {}
 
     def record(self, time: float, rank: int, kind: str, **detail: Any) -> None:
         event = TraceEvent(time, rank, kind, detail)
@@ -186,4 +191,5 @@ def attach_tracer(cluster: "Cluster") -> Tracer:
     cluster.fabric.tracer = tracer
     tracer._devices = list(cluster.world.devices)
     tracer._fabric = cluster.fabric
+    tracer.ringlet_labels = cluster.fabric.ringlet_labels
     return tracer

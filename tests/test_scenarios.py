@@ -6,7 +6,7 @@ Three layers of assurance:
   two runs, faults on and off (``run_scenario`` resets the process-wide
   plan cache itself, the ``reset_plan_cache`` pattern from
   ``tests/test_svc.py``);
-* **acceptance** — the full 4-scenario × 2-seed matrix verifies its
+* **acceptance** — the full 5-scenario × 2-seed matrix verifies its
   application oracles and cross-layer invariants;
 * **oracle sharpness** — the invariant checks are unit-tested against
   tampered snapshots, so a scenario "passing" means the checks could
@@ -30,7 +30,8 @@ from repro.scenarios import (
 from repro.scenarios.base import _REGISTRY, Scenario, register_scenario
 from repro.scenarios.cli import main as cli_main
 
-ALL_SCENARIOS = ("colocation", "graph", "training", "work_stealing")
+ALL_SCENARIOS = ("colocation", "colocation_rings", "graph", "training",
+                 "work_stealing")
 
 # Reports are expensive (each is a full cluster simulation): cells are
 # computed once per test session and shared read-only.
@@ -213,6 +214,63 @@ class TestAcceptanceMatrix:
             delivered = (m["fabric.bytes_written"] + m["fabric.bytes_read"]
                          + m["fabric.bytes_torn"])
             assert delivered >= m["scenario.payload_bytes"] > 0, name
+
+
+class TestColocationRings:
+    """The switched-fabric co-location variant's own invariants."""
+
+    def test_runs_on_a_two_ringlet_fabric(self):
+        topo = cell("colocation_rings")["params"]["topology"]
+        assert topo["kind"] == "RingOfRings"
+        assert topo["n_ringlets"] == 2 and topo["ringlet_size"] == 4
+
+    def test_tenants_straddle_the_crossbar(self):
+        from repro.scenarios.colocation import (N_SERVERS,
+                                                ColocationRingsScenario)
+
+        scenario = ColocationRingsScenario()
+        params = ScenarioParams()
+        topology = scenario.topology(params)
+        kv = scenario._kv_ranks(8, 4)
+        assert kv == (0, 1, 4, 5)
+        # Servers in ringlet 0, clients in ringlet 1: every KV op and
+        # the halo mesh's y-faces must cross the switch.
+        assert {topology.node_group(r) for r in kv[:N_SERVERS]} == {0}
+        assert {topology.node_group(r) for r in kv[N_SERVERS:]} == {1}
+        halo = [r for r in range(8) if r not in kv]
+        assert {topology.node_group(r) for r in halo} == {0, 1}
+
+    def test_cross_links_saturate_local_links_do_not(self):
+        """The cell's whole point: contending cross-switch traffic drives
+        the crossbar past capacity while ringlet-local links stay cool."""
+        m = cell("colocation_rings")["metrics"]
+        assert m["fabric.link_peak_cross"] >= 1.0
+        assert m["fabric.link_peak_local"] < 1.0
+        assert m["fabric.link_saturated"] >= 1
+        assert m["fabric.link_bytes"] > 0
+
+    def test_perfetto_tracks_carry_topology_identity(self):
+        """The exported trace names one track per ringlet plus the
+        switch, from the topology's own labels."""
+        from repro.obs.timeline import chrome_trace
+
+        run = run_scenario("colocation_rings", seed=1)
+        doc = chrome_trace(run.tracer)
+        names = {ev["args"]["name"] for ev in doc["traceEvents"]
+                 if ev.get("ph") == "M" and ev["name"] == "thread_name"
+                 and ev["pid"] == 1}
+        assert {"ringlet 0", "ringlet 1", "switch"} <= names
+
+    def test_rejects_other_rank_counts(self):
+        with pytest.raises(ScenarioError, match="exactly 8 ranks"):
+            run_scenario("colocation_rings", ranks=12)
+
+    def test_default_colocation_still_runs_on_a_ring(self):
+        """The base cell must be untouched by the topology hook."""
+        assert "topology" not in cell("colocation")["params"]
+        scenario = get_scenario("colocation")
+        assert scenario.topology(ScenarioParams()) is None
+        assert scenario._kv_ranks(8, 4) == (0, 1, 2, 3)
 
 
 class TestCLI:

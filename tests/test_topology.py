@@ -1,0 +1,426 @@
+"""The Topology protocol: differential oracle, routing, link accounting.
+
+Four layers of assurance for the switched-fabric refactor:
+
+* **differential oracle** — ring-topology timings are *bit-identical* to
+  the pre-refactor implementation.  The golden lists below were captured
+  on the last commit before the Topology protocol landed (the probe
+  programs cover pt2pt strided sends, one-sided epochs, and the
+  bcast/allreduce pair); any drift in a float is a behaviour change.
+* **routing determinism and structure** — for every topology, routes are
+  pure functions of (src, dst), stay inside the declared link set, and
+  satisfy each topology's structural invariants (ring tiling, one
+  crossbar hop per cross-ringlet route, fat-tree mirror echo).
+* **per-link accounting** — the FlowNetwork's peak-load and
+  delivered-byte statistics, and the fabric's local/cross split: a
+  narrow crossbar saturates while ringlet-local links stay below
+  capacity.
+* **topology-aware policy and collectives** — group-aware decisions in
+  TransferPolicy, data correctness of the hierarchical bcast/allreduce
+  on switched topologies, and the hierarchical-over-chain speedup.
+"""
+
+import numpy as np
+import pytest
+
+from repro._units import KiB
+from repro.cluster import Cluster
+from repro.hardware.sci import SCIFabric
+from repro.hardware.sci.topology import (
+    TOPOLOGY_NAMES,
+    FatTree,
+    RingOfRings,
+    RingTopology,
+    TorusTopology,
+    topology_from_name,
+)
+from repro.mpi.datatypes import BYTE, Vector
+from repro.mpi.flatten import reset_plan_cache
+from repro.mpi.transport.policy import ChunkedCollectivesPolicy, TransferPolicy
+from repro.sim import Engine
+
+# -- the differential oracle ---------------------------------------------------
+#
+# Captured with tools' probe programs on the pre-Topology tree.  Exact
+# float equality is the contract: the refactor moved code, not behaviour.
+
+GOLDEN_PT2PT = [94.68337349397589, 0.0, 159.09397955458195, 0.0]
+GOLDEN_OSC = [68.67771084337349, 68.62771084337349,
+              69.62771084337349, 69.62771084337349]
+GOLDEN_COLL = [305.2446065512047, 310.6986169678713, 310.6986169678713,
+               316.15262738453794, 310.6986169678713, 316.15262738453794,
+               316.15262738453794, 321.60663780120456]
+
+
+class TestRingDifferentialOracle:
+    def test_pt2pt_strided_timings_unchanged(self):
+        reset_plan_cache()
+        dtype = Vector(256, 64, 96, BYTE)
+        extent = 256 * 96
+
+        def program(ctx):
+            comm = ctx.comm
+            dtype.commit()
+            buf = ctx.alloc(extent)
+            if comm.rank == 0:
+                buf.read()[:] = np.arange(extent, dtype=np.uint8) % 251
+                yield from comm.send(buf, dest=2, datatype=dtype, count=1)
+            elif comm.rank == 2:
+                yield from comm.recv(buf, source=0, datatype=dtype, count=1)
+            return ctx.now
+
+        assert Cluster(n_nodes=4).run(program).results == GOLDEN_PT2PT
+
+    def test_osc_epoch_timings_unchanged(self):
+        reset_plan_cache()
+
+        def program(ctx):
+            comm = ctx.comm
+            win = yield from comm.win_create(4 * KiB, shared=True)
+            src = ctx.alloc(1 * KiB)
+            yield from win.fence()
+            if comm.rank == 1:
+                src.read()[:] = 7
+                yield from win.put(src, target=0)
+                yield from win.get(1 * KiB, target=3)
+            yield from win.fence()
+            return ctx.now
+
+        assert Cluster(n_nodes=4).run(program).results == GOLDEN_OSC
+
+    def test_collective_timings_unchanged(self):
+        reset_plan_cache()
+
+        def program(ctx):
+            comm = ctx.comm
+            buf = ctx.alloc(8 * KiB)
+            if comm.rank == 0:
+                buf.read()[:] = 3
+            yield from comm.bcast(buf, root=0)
+            send = ctx.alloc(1 * KiB)
+            recv = ctx.alloc(1 * KiB)
+            send.read()[:] = comm.rank + 1
+            yield from comm.allreduce(send, recv, op="sum", datatype=BYTE)
+            return ctx.now
+
+        assert Cluster(n_nodes=8).run(program).results == GOLDEN_COLL
+
+
+# -- routing: determinism and structure ----------------------------------------
+
+TOPOLOGIES = {
+    "ring": lambda: RingTopology(8),
+    "torus": lambda: TorusTopology((4, 2)),
+    "ring_of_rings": lambda: RingOfRings(2, 4),
+    "fat_tree": lambda: FatTree(2, 4),
+}
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGIES))
+class TestRoutingContract:
+    def test_routes_deterministic_across_instances(self, name):
+        a, b = TOPOLOGIES[name](), TOPOLOGIES[name]()
+        assert a.segments() == b.segments()
+        for src in range(a.n_nodes):
+            for dst in range(a.n_nodes):
+                assert a.route(src, dst) == b.route(src, dst)
+
+    def test_routes_stay_inside_declared_links(self, name):
+        topo = TOPOLOGIES[name]()
+        links = set(topo.segments())
+        assert len(links) == len(topo.segments()), "duplicate link ids"
+        for src in range(topo.n_nodes):
+            for dst in range(topo.n_nodes):
+                route = topo.route(src, dst)
+                assert set(route.data_segments) <= links
+                assert set(route.echo_segments) <= links
+                assert set(topo.links_on(route)) <= links
+
+    def test_distance_matches_route_hops(self, name):
+        topo = TOPOLOGIES[name]()
+        for src in range(topo.n_nodes):
+            for dst in range(topo.n_nodes):
+                assert topo.distance(src, dst) == topo.route(src, dst).hops
+        assert all(topo.distance(n, n) == 0 for n in range(topo.n_nodes))
+
+    def test_link_metadata_total(self, name):
+        """Every declared link classifies, names a ringlet, and prices."""
+        topo = TOPOLOGIES[name]()
+        for link in topo.segments():
+            assert topo.link_kind(link) in ("local", "cross")
+            assert topo.link_capacity(link, 100.0) > 0
+            key = topo.ringlet_of(link)
+            hash(key)  # ringlet keys must be hashable
+            label = topo.ringlet_label(key)
+            assert label is None or isinstance(label, str)
+
+    def test_groups_partition_the_nodes(self, name):
+        topo = TOPOLOGIES[name]()
+        groups = {topo.node_group(n) for n in range(topo.n_nodes)}
+        assert len(groups) == topo.n_groups
+        described = topo.describe()
+        assert described["n_nodes"] == topo.n_nodes
+        assert described["n_groups"] == topo.n_groups
+        assert described["n_links"] == len(topo.segments())
+
+
+class TestRingOfRingsRouting:
+    def test_local_route_is_a_plain_ring_arc(self):
+        topo = RingOfRings(2, 4)
+        route = topo.route(1, 3)  # both in ringlet 0
+        assert route.data_segments == (("r", 0, 1), ("r", 0, 2))
+        # The echo completes the ringlet loop (positions 0..4, the last
+        # being the switch port).
+        assert route.echo_segments == (("r", 0, 3), ("r", 0, 4), ("r", 0, 0))
+
+    def test_cross_route_crosses_the_crossbar_once(self):
+        topo = RingOfRings(2, 4)
+        for src in range(4):
+            for dst in range(4, 8):
+                route = topo.route(src, dst)
+                xlinks = [s for s in route.data_segments if s[0] == "x"]
+                assert xlinks == [("x", 1)], "one crossbar hop, dst ringlet"
+                # The switched crossbar carries no ring echo.
+                assert all(s[0] != "x" for s in route.echo_segments)
+
+    def test_cross_route_tiles_both_ringlet_loops(self):
+        topo = RingOfRings(3, 4)
+        route = topo.route(1, 10)  # ringlet 0 pos 1 -> ringlet 2 pos 2
+        occupied = route.data_segments + route.echo_segments
+        for ringlet in (0, 2):
+            positions = sorted(s[2] for s in occupied
+                               if s[0] == "r" and s[1] == ringlet)
+            assert positions == list(range(5)), (
+                "data + echo must tile the traversed ringlet's loop exactly"
+            )
+        assert all(s[1] != 1 for s in occupied if s[0] == "r"), (
+            "untraversed ringlets carry no traffic"
+        )
+
+    def test_crossbar_capacity_scales_with_switch_capacity(self):
+        topo = RingOfRings(2, 4, switch_capacity=0.25)
+        assert topo.link_capacity(("x", 0), 200.0) == 50.0
+        assert topo.link_capacity(("r", 0, 0), 200.0) == 200.0
+
+    def test_ringlet_identity(self):
+        topo = RingOfRings(2, 4)
+        assert topo.ringlet_of(("r", 1, 2)) == ("r", 1)
+        assert topo.ringlet_of(("x", 0)) == "switch"
+        assert topo.ringlet_label(("r", 1)) == "ringlet 1"
+        assert topo.ringlet_label("switch") == "switch"
+        assert topo.link_kind(("x", 0)) == "cross"
+        assert topo.link_kind(("r", 0, 4)) == "local"
+        assert [topo.node_group(n) for n in range(8)] == [0] * 4 + [1] * 4
+
+    def test_single_ringlet_has_no_crossbar(self):
+        topo = RingOfRings(1, 4)
+        assert all(link[0] == "r" for link in topo.segments())
+
+
+class TestFatTreeRouting:
+    def test_same_leaf_is_two_hops_cross_leaf_four(self):
+        topo = FatTree(2, 4)
+        assert topo.route(0, 1).data_segments == (("h", 0, "up"),
+                                                  ("h", 1, "dn"))
+        assert topo.route(0, 5).data_segments == (
+            ("h", 0, "up"), ("l", 0, "up"), ("l", 1, "dn"), ("h", 5, "dn"))
+        assert topo.distance(0, 1) == 2
+        assert topo.distance(0, 5) == 4
+
+    def test_echo_is_the_mirror_route(self):
+        topo = FatTree(2, 4)
+        for src in range(topo.n_nodes):
+            for dst in range(topo.n_nodes):
+                assert (topo.route(src, dst).echo_segments
+                        == topo.route(dst, src).data_segments)
+
+    def test_spine_links_are_fat(self):
+        topo = FatTree(2, 4)  # fat_factor defaults to the arity
+        assert topo.link_capacity(("l", 0, "up"), 100.0) == 400.0
+        assert topo.link_capacity(("h", 0, "up"), 100.0) == 100.0
+        assert FatTree(2, 4, fat_factor=1.5).link_capacity(
+            ("l", 1, "dn"), 100.0) == 150.0
+
+    def test_link_identity(self):
+        topo = FatTree(2, 4)
+        assert topo.link_kind(("l", 0, "up")) == "cross"
+        assert topo.link_kind(("h", 3, "dn")) == "local"
+        assert topo.ringlet_of(("l", 1, "dn")) == "spine"
+        assert topo.ringlet_of(("h", 5, "up")) == ("leaf", 1)
+        assert topo.ringlet_label("spine") == "spine"
+        assert topo.ringlet_label(("leaf", 1)) == "leaf 1"
+
+
+class TestTopologyFromName:
+    def test_every_name_builds_at_8_nodes(self):
+        for name in TOPOLOGY_NAMES:
+            topo = topology_from_name(name, 8)
+            assert topo.n_nodes == 8
+
+    def test_shapes(self):
+        assert isinstance(topology_from_name("ring", 5), RingTopology)
+        assert topology_from_name("torus", 8).dims == (2, 4)
+        rr = topology_from_name("ring_of_rings", 8)
+        assert (rr.n_ringlets, rr.ringlet_size) == (4, 2)
+        ft = topology_from_name("fat_tree", 6)
+        assert (ft.n_leaves, ft.arity) == (2, 3)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            topology_from_name("hypercube", 8)
+
+    def test_unsplittable_count_rejected(self):
+        with pytest.raises(ValueError, match="do not split"):
+            topology_from_name("ring_of_rings", 7)
+
+
+# -- per-link accounting -------------------------------------------------------
+
+
+class TestPerLinkAccounting:
+    def test_peak_load_records_concurrent_demand(self):
+        from repro.hardware.sci import FlowNetwork
+
+        eng = Engine()
+        ring = RingTopology(4)
+        net = FlowNetwork(eng, {s: 10.0 for s in ring.segments()})
+        net.transfer(ring.route(0, 1), 100.0, 8.0)
+        net.transfer(ring.route(0, 1), 100.0, 8.0)
+        # Two concurrent flows of demand 8 on a capacity-10 link.
+        assert net.link_peak()[0] == pytest.approx(1.6)
+        eng.run()
+        # Peaks are high-water marks: they persist after the flows drain.
+        assert net.link_peak()[0] == pytest.approx(1.6)
+
+    def test_delivered_bytes_credited_to_data_links_only(self):
+        from repro.hardware.sci import FlowNetwork
+
+        eng = Engine()
+        ring = RingTopology(4)
+        net = FlowNetwork(eng, {s: 10.0 for s in ring.segments()})
+        net.transfer(ring.route(0, 2), 500.0, 5.0)  # data links 0, 1
+        eng.run()
+        delivered = net.link_bytes()
+        assert delivered[0] == pytest.approx(500.0)
+        assert delivered[1] == pytest.approx(500.0)
+        assert delivered[2] == 0.0 and delivered[3] == 0.0
+
+    def test_echo_traffic_counts_toward_demand(self):
+        from repro.hardware.sci import FlowNetwork
+
+        eng = Engine()
+        ring = RingTopology(4)
+        net = FlowNetwork(eng, {s: 10.0 for s in ring.segments()},
+                          echo_ratio=0.5)
+        net.transfer(ring.route(0, 2), 100.0, 8.0)  # echo links 2, 3
+        demand = net.link_demand()
+        assert demand[0] == demand[1] == pytest.approx(8.0)
+        assert demand[2] == demand[3] == pytest.approx(4.0)
+
+    def test_narrow_crossbar_saturates_while_ringlets_stay_cool(self):
+        """The per-link split the refactor exists for: a cross-ringlet
+        stream drives a narrow crossbar port past capacity, while every
+        ringlet-local link — including a second, unrelated local stream —
+        stays below it."""
+        eng = Engine()
+        topo = RingOfRings(3, 2, switch_capacity=0.2)
+        fabric = SCIFabric(eng, topo)
+
+        def cross():
+            yield from fabric.dma_transfer(2, 0, 64 * KiB)  # ringlet 1 -> 0
+
+        def local():
+            yield from fabric.dma_transfer(4, 5, 64 * KiB)  # inside ringlet 2
+
+        eng.process(cross())
+        eng.process(local())
+        eng.run()
+        stats = fabric.link_stats()
+        assert stats["peak_cross"] >= 1.0, stats
+        assert 0 < stats["peak_local"] < 1.0, stats
+        assert stats["saturated"] == 1.0, "only the crossbar port saturated"
+        assert stats["bytes"] > 0
+        peaks = fabric.network.link_peak()
+        saturated = [link for link, p in peaks.items() if p >= 1.0]
+        assert saturated == [("x", 0)]
+
+    def test_fabric_link_stats_cover_every_link(self):
+        eng = Engine()
+        topo = FatTree(2, 2)
+        fabric = SCIFabric(eng, topo)
+        stats = fabric.link_stats()
+        assert stats["count"] == len(topo.segments())
+        assert stats["saturated"] == 0.0 and stats["bytes"] == 0.0
+
+
+# -- topology-aware policy and collectives -------------------------------------
+
+
+class TestTopologyAwarePolicy:
+    def test_hierarchical_wants_multiple_groups(self):
+        policy = TransferPolicy()
+        assert policy.hierarchical_collective("bcast", 64 * KiB, 64, 8)
+        assert not policy.hierarchical_collective("bcast", 64 * KiB, 64, 1)
+        assert not policy.hierarchical_collective("bcast", 64 * KiB, 8, 8)
+
+    def test_hierarchical_can_be_disabled(self):
+        policy = TransferPolicy(hier_collectives=False)
+        assert not policy.hierarchical_collective("allreduce", 64 * KiB, 64, 8)
+        assert policy.describe()["hier_collectives"] == 0
+
+    def test_cross_switch_chunk(self):
+        policy = TransferPolicy(cross_chunk=4 * KiB)
+        assert policy.cross_switch_chunk(1 * KiB) is None
+        assert policy.cross_switch_chunk(64 * KiB) == 4 * KiB
+
+
+class TestHierarchicalCollectives:
+    @staticmethod
+    def _cluster(topology):
+        return Cluster(n_nodes=topology.n_nodes, topology=topology,
+                       policy=ChunkedCollectivesPolicy())
+
+    def test_allreduce_correct_on_ring_of_rings(self):
+        reset_plan_cache()
+        n = 8
+
+        def program(ctx):
+            comm = ctx.comm
+            send = ctx.alloc(256)
+            recv = ctx.alloc(256)
+            send.read()[:] = comm.rank + 1
+            yield from comm.allreduce(send, recv, op="sum", datatype=BYTE)
+            return int(recv.read(0, 1)[0])
+
+        run = self._cluster(RingOfRings(2, 4)).run(program)
+        expected = sum(range(1, n + 1)) % 256
+        assert run.results == [expected] * n
+
+    def test_bcast_correct_on_fat_tree(self):
+        reset_plan_cache()
+
+        def program(ctx):
+            comm = ctx.comm
+            buf = ctx.alloc(32 * KiB)
+            if comm.rank == 3:
+                buf.read()[:] = np.arange(32 * KiB, dtype=np.uint8) % 251
+            yield from comm.bcast(buf, root=3)
+            return int(np.sum(buf.read(), dtype=np.int64))
+
+        run = self._cluster(FatTree(2, 4)).run(program)
+        assert len(set(run.results)) == 1
+        assert run.results[0] == int(
+            np.sum(np.arange(32 * KiB, dtype=np.uint8) % 251, dtype=np.int64))
+
+    def test_hierarchical_beats_flat_chain(self):
+        """The tentpole's payoff, cheap enough for tier-1: at 16 nodes on
+        two 8-node ringlets, the hierarchical allreduce must beat the
+        flat chain-pipelined algorithm (the pre-topology behaviour).
+        The payload sits above the chain's 64 KiB pipeline threshold —
+        below it the flat binomial tree on block rank placement is
+        already hierarchy-aligned and the timings tie exactly."""
+        from repro.bench.hier import run_hier_allreduce
+
+        flat = run_hier_allreduce(16, hierarchical=False, payload=128 * KiB)
+        hier = run_hier_allreduce(16, hierarchical=True, payload=128 * KiB)
+        assert hier < flat

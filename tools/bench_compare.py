@@ -15,6 +15,8 @@ set by :mod:`repro.bench.smoke`):
   value falling below baseline by more than the tolerance;
 * ``*_ops`` — service operations per second, higher is better (same
   direction as ``*_mibs``);
+* ``*_x``   — a speedup ratio, higher is better (same direction as
+  ``*_mibs``);
 * anything else — direction unknown; a regression is the relative
   difference exceeding the tolerance either way.
 
@@ -44,7 +46,7 @@ def classify(name: str, baseline: float, current: float,
         rel = (current - baseline) / abs(baseline)
     if name.endswith("_us"):
         worse, better = rel > tolerance, rel < 0
-    elif name.endswith("_mibs") or name.endswith("_ops"):
+    elif name.endswith("_mibs") or name.endswith("_ops") or name.endswith("_x"):
         worse, better = rel < -tolerance, rel > 0
     else:
         worse, better = abs(rel) > tolerance, False
