@@ -1,0 +1,154 @@
+"""Wall-clock performance gauges for the vectorized fast-path engine.
+
+Everything else in ``repro.bench`` measures *simulated* time, which the
+fast paths are forbidden to change (``docs/ENGINE.md``); this module is
+the one place that measures the *simulator's own* speed — host seconds,
+not simulated microseconds.  :func:`run_perf` drives steady-state
+rendezvous chunk streams (point-to-point, bcast, allreduce) twice, with
+the analytic fast paths enabled and disabled, and reports:
+
+* ``wall_clock_ops_per_sec`` — chunk cycles retired per host second with
+  the fast path on (the headline engine-throughput gauge);
+* ``sim_events_per_sec``     — heap events processed per host second
+  with the fast path off (the raw event-stepped engine's throughput);
+* ``fastpath_*_speedup_x``   — wall-clock ratio (off / on) per workload.
+
+The workloads deliberately deepen the steady state: a 4 MiB transfer
+over 2 KiB rendezvous chunks is 2048 identical chunk cycles, so the
+event-stepped run is dominated by engine overhead (~8 heap events per
+cycle) while the fast-path run replays the whole stream as a handful of
+closed-form windows.  Both runs move the same payload bytes and land on
+the same simulated clock — :func:`run_perf` asserts that equality and
+that windows actually engaged before reporting any number.
+
+Wall-clock numbers are runner-dependent, so these metrics live in their
+own report (``python -m repro.bench --perf``) and their own baseline
+(``benchmarks/BENCH_perf_baseline.json``), gated by
+``tools/bench_compare.py`` at a wall-clock-aware tolerance — never in
+the ``--smoke`` report, whose simulated-time metrics CI compares
+bit-identically across fast-path modes.  Each workload takes the best
+of ``repeats`` runs (the usual wall-clock benchmarking hygiene); the
+speedup ratios are the most runner-robust of the gauges.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from .._units import KiB, MiB
+from ..cluster import Cluster
+from ..mpi.datatypes import BYTE
+from ..mpi.flatten import reset_plan_cache
+from ..mpi.pt2pt.config import ProtocolConfig
+from ..mpi.transport.fastpath import set_fastpath_enabled
+
+__all__ = ["run_perf", "PERF_METRICS"]
+
+#: Every metric :func:`run_perf` emits, in emission order.  ``_per_sec``
+#: and ``_x`` are higher-is-better (see ``tools/bench_compare.py``).
+PERF_METRICS = (
+    "wall_clock_ops_per_sec",
+    "sim_events_per_sec",
+    "fastpath_stream_speedup_x",
+    "fastpath_bcast_speedup_x",
+    "fastpath_allreduce_speedup_x",
+)
+
+#: 4 MiB over 2 KiB chunks: 2048 identical rendezvous chunk cycles per
+#: hop — deep enough that engine overhead dominates the event-stepped
+#: run, small enough for a CI lane.
+PERF_PAYLOAD = 4 * MiB
+PERF_PROTOCOL = ProtocolConfig(rendezvous_chunk=2 * KiB)
+
+
+def _stream_program(ctx):
+    """One large contiguous rendezvous send rank 0 -> rank 1."""
+    comm = ctx.comm
+    buf = ctx.alloc(PERF_PAYLOAD)
+    if comm.rank == 0:
+        buf.read()[:] = 7
+        yield from comm.send(buf, dest=1, count=PERF_PAYLOAD)
+        return
+    yield from comm.recv(buf, source=0, count=PERF_PAYLOAD)
+
+
+def _bcast_program(ctx):
+    comm = ctx.comm
+    buf = ctx.alloc(PERF_PAYLOAD)
+    if comm.rank == 0:
+        buf.read()[:] = 7
+    yield from comm.bcast(buf, root=0, datatype=BYTE, count=PERF_PAYLOAD)
+
+
+def _allreduce_program(ctx):
+    comm = ctx.comm
+    send = ctx.alloc(PERF_PAYLOAD)
+    recv = ctx.alloc(PERF_PAYLOAD)
+    send.read()[:] = comm.rank % 251
+    yield from comm.allreduce(send, recv, op="sum", datatype=BYTE,
+                              count=PERF_PAYLOAD)
+
+
+def _measure(program: Callable, fast: bool, repeats: int) -> dict[str, float]:
+    """Best-of-``repeats`` wall time of ``program`` on a fresh 2-node
+    cluster with the fast path forced to ``fast``; also returns the
+    run's simulated time, chunk count, heap-event count and window
+    count (identical across repeats — the simulation is
+    deterministic)."""
+    previous = set_fastpath_enabled(fast)
+    try:
+        best: dict[str, float] = {"wall_s": float("inf")}
+        for _ in range(repeats):
+            reset_plan_cache()
+            cluster = Cluster(n_nodes=2, protocol=PERF_PROTOCOL)
+            t0 = time.perf_counter()
+            cluster.run(program)
+            wall = time.perf_counter() - t0
+            if wall < best["wall_s"]:
+                best = {
+                    "wall_s": wall,
+                    "sim_us": cluster.engine.now,
+                    "events": float(cluster.engine.events_processed),
+                    "chunks": float(sum(d.scheduler.stats["chunks"]
+                                        for d in cluster.world.devices)),
+                    "windows": float(sum(d.scheduler.fastpath["windows"]
+                                         for d in cluster.world.devices)),
+                }
+        return best
+    finally:
+        set_fastpath_enabled(previous)
+
+
+def run_perf(repeats: int = 3) -> dict[str, float]:
+    """Run every perf gauge; returns ``{name: value}`` (see
+    :data:`PERF_METRICS` for order and naming).
+
+    Raises :class:`RuntimeError` if a fast-path run's simulated time
+    diverges from its event-stepped twin, or if no closed-form window
+    engaged — the gauges must never report the speed of a broken or
+    silently disengaged fast path.
+    """
+    workloads = (
+        ("stream", _stream_program, "fastpath_stream_speedup_x"),
+        ("bcast", _bcast_program, "fastpath_bcast_speedup_x"),
+        ("allreduce", _allreduce_program, "fastpath_allreduce_speedup_x"),
+    )
+    metrics: dict[str, float] = {name: 0.0 for name in PERF_METRICS}
+    for label, program, speedup_name in workloads:
+        on = _measure(program, fast=True, repeats=repeats)
+        off = _measure(program, fast=False, repeats=repeats)
+        if on["sim_us"] != off["sim_us"]:
+            raise RuntimeError(
+                f"perf workload {label!r}: fast path changed simulated "
+                f"time ({on['sim_us']} != {off['sim_us']})"
+            )
+        if on["windows"] == 0:
+            raise RuntimeError(
+                f"perf workload {label!r}: no closed-form window engaged"
+            )
+        metrics[speedup_name] = off["wall_s"] / on["wall_s"]
+        if label == "stream":
+            metrics["wall_clock_ops_per_sec"] = on["chunks"] / on["wall_s"]
+            metrics["sim_events_per_sec"] = off["events"] / off["wall_s"]
+    return metrics

@@ -35,6 +35,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from ..params import congestion_fraction
 from .topology import Route
 
@@ -150,6 +152,109 @@ class FlowNetwork:
     # Historical names from the single-ring era.
     segment_demand = link_demand
     segment_load = link_load
+
+    # -- analytic replay (the closed-form fast path) ---------------------------
+
+    def exclusive_rate(self, route: Route, rate_cap: float) -> float:
+        """Delivered rate of a single flow on an otherwise idle network.
+
+        Computes exactly what :meth:`_recompute` would for one flow —
+        demand is the flow's own cap on its data links (plus echo-ratio
+        demand on its echo links), throttled by the congestion response of
+        the most loaded data link — without touching any state.
+        """
+        demand: dict[object, float] = {}
+        for seg in route.data_segments:
+            demand[seg] = demand.get(seg, 0.0) + rate_cap
+        for seg in route.echo_segments:
+            demand[seg] = demand.get(seg, 0.0) + rate_cap * self.echo_ratio
+        frac = {
+            seg: self.response(d / self.capacities[seg])
+            for seg, d in demand.items()
+        }
+        return rate_cap * min(frac[s] for s in route.data_segments)
+
+    def replay_exclusive(self, route: Route, nbytes: int, rate_cap: float,
+                         start: float) -> float:
+        """One flow's lifetime on an idle network, replayed analytically.
+
+        Performs the exact float arithmetic and per-link state mutations
+        of ``transfer`` + ``_on_timer`` for a flow that starts at
+        ``start`` and runs alone (caller guarantees
+        :attr:`active_flows` ``== 0``), and returns its completion time.
+        The engine clock is *not* touched — the caller owns the window's
+        clock sequence (see ``docs/ENGINE.md``).
+        """
+        demand: dict[object, float] = {}
+        for seg in route.data_segments:
+            demand[seg] = demand.get(seg, 0.0) + rate_cap
+        for seg in route.echo_segments:
+            demand[seg] = demand.get(seg, 0.0) + rate_cap * self.echo_ratio
+        frac = {}
+        for seg, d in demand.items():
+            load = d / self.capacities[seg]
+            frac[seg] = self.response(load)
+            if load > self._peak_load[seg]:
+                self._peak_load[seg] = load
+        rate = rate_cap * min(frac[s] for s in route.data_segments)
+        remaining = float(nbytes)
+        delay = remaining / rate
+        end = start + delay
+        # _on_timer: account delivered bytes over the elapsed span, then
+        # credit the float residue of the rate/delay round-trip.
+        elapsed = end - start
+        delivered = min(remaining, rate * elapsed)
+        remaining -= delivered
+        if delivered > 0:
+            for seg in route.data_segments:
+                self._link_bytes[seg] += delivered
+        if remaining > 0:
+            for seg in route.data_segments:
+                self._link_bytes[seg] += remaining
+        self._next_id += 1
+        self._last_update = end
+        return end
+
+    def replay_exclusive_cohort(self, route: Route, nbytes: int,
+                                rate_cap: float, t1, t2) -> None:
+        """Per-link accounting of a homogeneous flow cohort, vectorized.
+
+        ``t1[i]``/``t2[i]`` are the start/completion instants of the
+        ``i``-th flow of a steady-state stream (every flow same
+        ``nbytes`` and ``rate_cap``, each running alone).  The caller has
+        already derived ``t2`` from ``t1`` via the shared per-cycle delay
+        (``nbytes / rate``), so this only replays the byte accounting:
+        per flow, the delivered span then the float residue — accumulated
+        into each data link with one sequential ``np.add.accumulate``
+        pass, bit-identical to the event-stepped per-flow adds.
+        """
+        rate = self.exclusive_rate(route, rate_cap)
+        demand: dict[object, float] = {}
+        for seg in route.data_segments:
+            demand[seg] = demand.get(seg, 0.0) + rate_cap
+        for seg in route.echo_segments:
+            demand[seg] = demand.get(seg, 0.0) + rate_cap * self.echo_ratio
+        for seg, d in demand.items():
+            load = d / self.capacities[seg]
+            if load > self._peak_load[seg]:
+                self._peak_load[seg] = load
+        total = float(nbytes)
+        elapsed = np.asarray(t2, dtype=np.float64) - np.asarray(t1, dtype=np.float64)
+        delivered = np.minimum(total, rate * elapsed)
+        residue = total - delivered
+        # The event path adds ``delivered`` then (if nonzero) ``residue``
+        # per flow, in stream order; interleave and keep the same order.
+        pairs = np.empty((delivered.size, 2), dtype=np.float64)
+        pairs[:, 0] = delivered
+        pairs[:, 1] = residue
+        flat = pairs.reshape(-1)
+        seq = flat[flat > 0]
+        for seg in route.data_segments:
+            self._link_bytes[seg] = float(np.add.accumulate(
+                np.concatenate(([self._link_bytes[seg]], seq)))[-1])
+        self._next_id += delivered.size
+        if delivered.size:
+            self._last_update = float(np.asarray(t2, dtype=np.float64)[-1])
 
     # -- internals ------------------------------------------------------------
 

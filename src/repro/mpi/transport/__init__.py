@@ -23,6 +23,15 @@ them) the collectives.  This package is that mechanism's home:
 every payload byte they move goes through this package.
 """
 
+from .fastpath import (
+    DEFAULT_FASTPATH,
+    CostTable,
+    FastPathPolicy,
+    StreamWindow,
+    fastpath_disabled,
+    fastpath_enabled,
+    set_fastpath_enabled,
+)
 from .layout import resolve_target_run
 from .policy import (
     DEFAULT_POLICY,
@@ -41,15 +50,22 @@ __all__ = [
     "ChunkCredit",
     "ChunkReady",
     "ChunkedCollectivesPolicy",
+    "CostTable",
+    "DEFAULT_FASTPATH",
     "DEFAULT_POLICY",
     "DEFAULT_RECOVERY",
+    "FastPathPolicy",
     "OSCStrategy",
     "Protocol",
     "RecoveryPolicy",
     "RemoteStore",
     "RndvAck",
+    "StreamWindow",
     "TransferMode",
     "TransferPolicy",
     "TransferScheduler",
+    "fastpath_disabled",
+    "fastpath_enabled",
+    "set_fastpath_enabled",
     "resolve_target_run",
 ]

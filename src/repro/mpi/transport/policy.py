@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Optional
 
 from ..pt2pt.config import DEFAULT_PROTOCOL, NonContigMode, ProtocolConfig
+from .fastpath import DEFAULT_FASTPATH, FastPathPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ...hardware.node import Node
@@ -30,6 +31,7 @@ __all__ = [
     "ChunkedCollectivesPolicy",
     "DEFAULT_POLICY",
     "DEFAULT_RECOVERY",
+    "FastPathPolicy",
     "OSCStrategy",
     "Protocol",
     "RecoveryPolicy",
@@ -113,6 +115,13 @@ class TransferPolicy:
     #: collectives: crossbar/spine hops are the scarce links, so leader
     #: exchanges pipeline in chunks of this size once payloads exceed it.
     cross_chunk: int = 128 * 1024
+    #: Fast-path engine knobs (cost tables + closed-form stream windows;
+    #: see ``docs/ENGINE.md``).  Both paths are bit-identical in
+    #: simulated time to the event-stepped reference and can be forced
+    #: off here (per policy) or via
+    #: :func:`repro.mpi.transport.fastpath.set_fastpath_enabled`
+    #: (process-wide).
+    fastpath: FastPathPolicy = DEFAULT_FASTPATH
 
     def bind(self, config: ProtocolConfig) -> "TransferPolicy":
         """This policy rebound to another protocol config (keeps subclass)."""
@@ -279,6 +288,9 @@ class TransferPolicy:
             "small_rma_threshold": self.small_rma_threshold,
             "hier_collectives": int(self.hier_collectives),
             "cross_chunk": self.cross_chunk,
+            "fastpath_cost_tables": int(self.fastpath.cost_tables),
+            "fastpath_closed_form": int(self.fastpath.closed_form),
+            "fastpath_min_window": self.fastpath.min_window,
         }
 
 

@@ -33,14 +33,19 @@ from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
 
+from ...hardware.sci.fabric import SCIConnectionError
+from ...hardware.sci.segments import SegmentUnmappedError
 from ...sim import Channel
 from ..errors import MessageTruncated, TransferAborted, TransferFault
 from ..pt2pt.costs import (
+    contiguous_remote_chunk_duration,
+    direct_remote_chunk_duration,
     local_chunk_copy_cost,
     pack_cost_direct,
     pack_cost_generic,
 )
 from ..pt2pt.messages import CreditReturn, EagerMsg, RndvRequest, ShortMsg
+from .fastpath import CostTable, RecvWindowCosts, StreamWindow, fastpath_enabled
 from .policy import TransferMode
 from .store import RemoteStore
 
@@ -58,6 +63,8 @@ class RndvAck:
     chunk_channel: Channel
     region: Any  # the receiver's rendezvous SharedRegion
     chunk_size: int
+    #: Receiver-side stream-window support (``None`` = event path only).
+    window: Optional[RecvWindowCosts] = None
 
 
 @dataclass
@@ -81,6 +88,57 @@ class TransferScheduler:
         #: Per-chunk cost accounting: every packet-buffer write this rank
         #: issued, by count / bytes / simulated time.
         self.stats = {"chunks": 0, "chunk_bytes": 0, "chunk_time": 0.0}
+        #: Memoized per-chunk transaction costs (see ``docs/ENGINE.md``).
+        self.costs = CostTable(device.policy.fastpath.table_size)
+        #: Closed-form window counters: engaged windows and the chunks
+        #: they collapsed (sender side).
+        self.fastpath = {"windows": 0, "window_chunks": 0}
+
+    # -- memoized chunk costs (fast path: cost tables) --------------------------------
+
+    def _costed(self, key: tuple, build) -> float:
+        """``build()``, memoized in the bounded cost table when enabled.
+
+        The cached value is the exact float ``build`` returns — pure
+        memoization, so simulated time never depends on the table.
+        """
+        if not (self.device.policy.fastpath.cost_tables and fastpath_enabled()):
+            return build()
+        return self.costs.lookup(key, build)
+
+    def chunk_write_duration(self, mode: str, offset: int, nbytes: int,
+                             groups: list[tuple[int, int]],
+                             src_cached: bool) -> float:
+        """Stand-alone duration of one remote chunk write (memoized)."""
+        device = self.device
+        params = device.node.params
+        if mode == TransferMode.DIRECT:
+            return self._costed(
+                ("direct", offset, tuple(groups), src_cached),
+                lambda: direct_remote_chunk_duration(
+                    params, device.node.memory, offset, groups,
+                    device.config, src_cached),
+            )
+        return self._costed(
+            ("contig", offset, nbytes, src_cached),
+            lambda: contiguous_remote_chunk_duration(
+                params, offset, nbytes, src_cached),
+        )
+
+    def chunk_pack_cost(self, groups: list[tuple[int, int]]) -> float:
+        """direct_pack_ff loop cost of one chunk's blocks (memoized)."""
+        return self._costed(
+            ("pack", tuple(groups)),
+            lambda: pack_cost_direct(self.device.node.memory, groups,
+                                     self.device.config),
+        )
+
+    def chunk_copy_cost(self, nbytes: int) -> float:
+        """Protocol-copy cost of one cache-cold chunk (memoized)."""
+        return self._costed(
+            ("copy", nbytes),
+            lambda: local_chunk_copy_cost(self.device.node.memory, nbytes),
+        )
 
     # -- grouping (the single chunk-group implementation) ---------------------------
 
@@ -294,6 +352,133 @@ class TransferScheduler:
                            sync_reply=sync_reply)
         )
 
+    # -- closed-form stream windows (fast path: analytic replay) ----------------------
+
+    def _window_size(self, ack: RndvAck, pos: int, total: int) -> int:
+        """Chunks worth collapsing: every remaining *full* chunk except
+        the stream's final chunk, which always runs event-stepped (it
+        carries the ``last`` flag, may be partial, and closes the credit
+        handshake naturally)."""
+        chunk = ack.chunk_size
+        remaining = total - pos
+        full = remaining // chunk
+        return full - 1 if remaining % chunk == 0 else full
+
+    def _stream_window(self, dest, ack: RndvAck, mem, base, plan, packed,
+                       mode, seg_off, pos, index, total, src_cached):
+        """Collapse the steady-state tail of a rendezvous stream.
+
+        When the engine is otherwise quiescent — no scheduled events, no
+        time hooks, no concurrent flows, clean deterministic fabric — the
+        next ``k`` handshake cycles are a closed arithmetic form: per
+        cycle the clock advances by hop latency, the exclusive flow
+        delay, the sender's control cost, the receiver's drain cost and
+        the receiver's credit cost, in that order.  This method replays
+        that sequence analytically (bit-identical floats, identical
+        per-link byte/peak accounting), ships all ``k`` chunks as one
+        :class:`StreamWindow`, and advances the clock with a single
+        ``wake_at``.  Returns ``(pos, index)`` past the window, or
+        ``None`` to run the event-stepped path.
+        """
+        device = self.device
+        policy = device.policy.fastpath
+        if not (policy.closed_form and fastpath_enabled()):
+            return None
+        if ack.window is None or mode == TransferMode.DMA:
+            return None
+        k = self._window_size(ack, pos, total)
+        if k < policy.min_window:
+            return None
+        engine = device.engine
+        if not engine.quiescent:
+            return None
+        if device.smi.same_node(device.rank, dest):
+            return None
+        fabric = device.world.smi.fabric
+        if fabric.fault_plan is not None or fabric._error_rate != 0.0:
+            return None
+        if device.tracer is not None or fabric.tracer is not None:
+            return None
+        network = fabric.network
+        if network.active_flows != 0:
+            return None
+        src_node = device.node.node_id
+        dst_node = device.smi.node_of(dest).node_id
+        try:
+            route = fabric._check_route(src_node, dst_node)
+            ack.region.handle(device.rank).ensure_mapped()
+        except (SCIConnectionError, SegmentUnmappedError):
+            return None  # let the event path surface the failure properly
+        if not route.data_segments:
+            return None
+
+        n = ack.chunk_size
+        chunk_mode = TransferMode.CONTIGUOUS if packed is not None else mode
+        hop = route.hops * fabric.params_for(src_node).link.hop_latency
+        ctrl_send = device._ctrl_cost(dest)
+        ctrl_credit = ack.window.ctrl_cost
+        if chunk_mode == TransferMode.DIRECT:
+            write_durs = [
+                self.chunk_write_duration(
+                    chunk_mode, 0, n,
+                    plan.groups_in_range(seg_off + pos + i * n, n), src_cached)
+                for i in range(k)
+            ]
+        else:
+            write_durs = [self.chunk_write_duration(
+                chunk_mode, 0, n, [(n, 1)], src_cached)] * k
+        drain_costs = [ack.window.chunk_cost(pos + i * n, n) for i in range(k)]
+        rate_caps = [n / d for d in write_durs]
+
+        homogeneous = (all(d == write_durs[0] for d in write_durs)
+                       and all(d == drain_costs[0] for d in drain_costs))
+        if homogeneous:
+            # Numpy cohort: one accumulate pass over the tiled per-cycle
+            # delta pattern [hop, flow, ctrl, drain, credit].
+            rate = network.exclusive_rate(route, rate_caps[0])
+            delay = float(n) / rate
+            deltas = np.tile(np.array(
+                [hop, delay, ctrl_send, drain_costs[0], ctrl_credit],
+                dtype=np.float64), k)
+            times = engine.coalesce_delays(engine.now, deltas)
+            t1, t2 = times[0::5], times[1::5]
+            starts = np.concatenate(([engine.now], times[4::5][:-1]))
+            network.replay_exclusive_cohort(route, n, rate_caps[0], t1, t2)
+            chunk_durs = t2 - starts
+            end = float(times[-1])
+        else:
+            t = engine.now
+            chunk_durs = []
+            for i in range(k):
+                t0 = t
+                t = t + hop
+                t = network.replay_exclusive(route, n, rate_caps[i], t)
+                chunk_durs.append(t - t0)
+                t = t + ctrl_send
+                t = t + drain_costs[i]
+                t = t + ctrl_credit
+            engine.events_coalesced += 5 * k
+            end = t
+
+        payload = (packed[pos : pos + k * n] if packed is not None
+                   else plan.execute_pack(mem, base, seg_off + pos, k * n))
+        # The event path leaves the last-written chunk in the packet
+        # buffer; mirror that so memory state cannot diverge either.
+        ack.region.local_view()[:n] = payload[(k - 1) * n :]
+        fabric.counters["pio_writes"] += k
+        fabric.counters["bytes_written"] += k * n
+        self.stats["chunks"] += k
+        self.stats["chunk_bytes"] += k * n
+        for dur in chunk_durs:
+            self.stats["chunk_time"] += float(dur)
+        self.fastpath["windows"] += 1
+        self.fastpath["window_chunks"] += k
+
+        ack.chunk_channel.put(
+            StreamWindow(index, pos, k, n, payload, end))
+        yield engine.wake_at(end, name="stream-window")
+        return pos + k * n, index + k
+
     def send_rndv(self, dest, env, mem, base, ft, plan, count, seg_off,
                   total, mode, src_cached):
         """Rendezvous protocol: handshake, then credit-paced chunk stream."""
@@ -324,6 +509,13 @@ class TransferScheduler:
         pos = 0
         index = 0
         while pos < total:
+            advanced = yield from self._stream_window(
+                dest, ack, mem, base, plan, packed, mode, seg_off, pos,
+                index, total, src_cached,
+            )
+            if advanced is not None:
+                pos, index = advanced
+                continue
             n = min(ack.chunk_size, total - pos)
             if packed is not None:
                 data = packed[pos : pos + n]
@@ -389,13 +581,13 @@ class TransferScheduler:
         if (mode in (TransferMode.DIRECT, TransferMode.DMA)
                 and not contiguous):
             groups = plan.groups_in_range(seg_off, n)
-            yield device.engine.timeout(pack_cost_direct(memory, groups, cfg))
+            yield device.engine.timeout(self.chunk_pack_cost(groups))
         elif mode == TransferMode.GENERIC:
-            yield device.engine.timeout(local_chunk_copy_cost(memory, n))
+            yield device.engine.timeout(self.chunk_copy_cost(n))
             groups = plan.groups_in_range(seg_off, n)
             yield device.engine.timeout(pack_cost_generic(memory, groups, cfg))
         else:
-            yield device.engine.timeout(local_chunk_copy_cost(memory, n))
+            yield device.engine.timeout(self.chunk_copy_cost(n))
         plan.execute_unpack(mem, base, seg_off, data)
         # Credit keyed by *this* rank at the sender's pool.
         yield from device.send_ctrl(
@@ -405,6 +597,47 @@ class TransferScheduler:
             yield from device.send_ctrl(msg.envelope.source, True,
                                         to_channel=msg.sync_reply)
         return n
+
+    def _window_support(self, mode, contiguous, plan,
+                        seg_off) -> Optional[RecvWindowCosts]:
+        """This receiver's half of the stream-window cost structure.
+
+        Advertised in the rendezvous ack; ``None`` when the closed-form
+        path is off, so the sender streams event-stepped chunks.  The
+        ``chunk_cost`` closure mirrors the three drain branches of the
+        event-stepped receive loop below — same pure cost functions,
+        same memoization table — so the sender's analytic replay charges
+        exactly what this rank would have charged per cycle.
+        """
+        device = self.device
+        if not (device.policy.fastpath.closed_form and fastpath_enabled()):
+            return None
+
+        def chunk_cost(pos: int, n: int) -> float:
+            if mode == TransferMode.GENERIC:
+                return self.chunk_copy_cost(n)
+            if (mode in (TransferMode.DIRECT, TransferMode.DMA)
+                    and not contiguous):
+                return self.chunk_pack_cost(plan.groups_in_range(seg_off + pos, n))
+            return self.chunk_copy_cost(n)
+
+        return RecvWindowCosts(chunk_cost=chunk_cost,
+                               ctrl_cost=device.config.ctrl_send_cost)
+
+    def _drain_window(self, window: StreamWindow, mem, base, plan,
+                      packed_tmp, seg_off: int, pos: int) -> int:
+        """Unpack one stream window in a single pass (no simulated time:
+        the sender's analytic replay already advanced the clock through
+        every cycle, drain costs included).  Returns the new stream
+        position; no credits are returned — the window protocol replaces
+        them."""
+        assert window.pos == pos, (window.pos, pos)
+        nbytes = window.count * window.nbytes
+        if packed_tmp is not None:
+            packed_tmp[pos : pos + nbytes] = window.payload
+        else:
+            plan.execute_unpack(mem, base, seg_off + pos, window.payload)
+        return pos + nbytes
 
     def recv_rndv(self, msg: RndvRequest, mem, base, ft, plan, count, seg_off,
                   capacity, mode, contiguous):
@@ -420,7 +653,9 @@ class TransferScheduler:
             chunk_channel: Channel = Channel(
                 device.engine, name=f"rndv-chunks-r{device.rank}"
             )
-            ack = RndvAck(chunk_channel, device.rndv_region, cfg.rendezvous_chunk)
+            ack = RndvAck(chunk_channel, device.rndv_region, cfg.rendezvous_chunk,
+                          window=self._window_support(mode, contiguous, plan,
+                                                      seg_off))
             yield from device.send_ctrl(msg.envelope.source, ack,
                                         to_channel=msg.reply)
 
@@ -432,7 +667,11 @@ class TransferScheduler:
             fault_plan = device.world.smi.fabric.fault_plan
             pos = 0
             while pos < total:
-                ready: ChunkReady = yield chunk_channel.get()
+                ready = yield chunk_channel.get()
+                if isinstance(ready, StreamWindow):
+                    pos = self._drain_window(ready, mem, base, plan,
+                                             packed_tmp, seg_off, pos)
+                    continue
                 if fault_plan is not None:
                     # Injected node stall: this rank's receive path is
                     # descheduled — unpacking and the credit run late,
@@ -444,19 +683,17 @@ class TransferScheduler:
                 data = np.array(device.rndv_region.local_view()[:n], copy=True)
                 if packed_tmp is not None:
                     # Generic: protocol copy into the packed temp buffer.
-                    yield device.engine.timeout(local_chunk_copy_cost(memory, n))
+                    yield device.engine.timeout(self.chunk_copy_cost(n))
                     packed_tmp[pos : pos + n] = data
                 elif (mode in (TransferMode.DIRECT, TransferMode.DMA)
                       and not contiguous):
                     # Direct (and DMA) receivers unpack each chunk straight
                     # into the user buffer with the ff loop.
                     groups = plan.groups_in_range(seg_off + pos, n)
-                    yield device.engine.timeout(
-                        pack_cost_direct(memory, groups, cfg)
-                    )
+                    yield device.engine.timeout(self.chunk_pack_cost(groups))
                     plan.execute_unpack(mem, base, seg_off + pos, data)
                 else:
-                    yield device.engine.timeout(local_chunk_copy_cost(memory, n))
+                    yield device.engine.timeout(self.chunk_copy_cost(n))
                     plan.execute_unpack(mem, base, seg_off + pos, data)
                 pos += n
                 yield from device.send_ctrl(
@@ -493,9 +730,7 @@ class TransferScheduler:
             n = min(chunk, nbytes - pos)
             done = yield from make_request(target_disp + pos, n)
             yield done
-            yield device.engine.timeout(
-                local_chunk_copy_cost(device.node.memory, n)
-            )
+            yield device.engine.timeout(self.chunk_copy_cost(n))
             out[pos : pos + n] = response.local_view()[:n]
             pos += n
         return out

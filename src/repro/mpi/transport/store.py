@@ -23,12 +23,6 @@ from ...hardware.sci.faults import SCITransientError, TornTransferError
 from ...hardware.sci.segments import SegmentUnmappedError
 from ...hardware.sci.transactions import AccessRun
 from ..errors import TransferAborted, TransferFault
-from ..pt2pt.costs import (
-    contiguous_remote_chunk_duration,
-    direct_remote_chunk_duration,
-    local_chunk_copy_cost,
-    pack_cost_direct,
-)
 from .policy import TransferMode
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -108,28 +102,20 @@ class RemoteStore:
         device = self.device
         n = data.nbytes
         remote = not device.smi.same_node(device.rank, dst)
-        memory = device.node.memory
-        cfg = device.config
         if remote:
             try:
                 region.handle(device.rank).ensure_mapped()
             except SegmentUnmappedError as exc:
                 raise TransferFault(str(exc), unmapped=True) from exc
-            params = device.node.params
             try:
                 if mode == TransferMode.DMA:
                     yield from device.world.smi.fabric.dma_transfer(
                         device.node.node_id, device.smi.node_of(dst).node_id, n
                     )
                 else:
-                    if mode == TransferMode.DIRECT:
-                        duration = direct_remote_chunk_duration(
-                            params, memory, offset, groups, cfg, src_cached
-                        )
-                    else:
-                        duration = contiguous_remote_chunk_duration(
-                            params, offset, n, src_cached
-                        )
+                    duration = device.scheduler.chunk_write_duration(
+                        mode, offset, n, groups, src_cached
+                    )
                     yield from device.world.smi.fabric.transfer_raw(
                         device.node.node_id, device.smi.node_of(dst).node_id,
                         n, duration, tearable=True,
@@ -143,9 +129,11 @@ class RemoteStore:
                 raise TransferFault(str(exc)) from exc
         else:
             if mode == TransferMode.DIRECT:
-                yield device.engine.timeout(pack_cost_direct(memory, groups, cfg))
+                yield device.engine.timeout(
+                    device.scheduler.chunk_pack_cost(groups))
             else:
-                yield device.engine.timeout(local_chunk_copy_cost(memory, n))
+                yield device.engine.timeout(
+                    device.scheduler.chunk_copy_cost(n))
         region.local_view()[offset : offset + n] = data
 
     # -- direct one-sided access ------------------------------------------------------
@@ -195,8 +183,9 @@ class RemoteStore:
         """
         device = self.device
         if not device.smi.same_node(device.rank, wtarget):
-            duration = contiguous_remote_chunk_duration(
-                device.node.params, dst_offset, nbytes, src_cached
+            duration = device.scheduler.chunk_write_duration(
+                TransferMode.CONTIGUOUS, dst_offset, nbytes, [(nbytes, 1)],
+                src_cached,
             )
 
             def attempt():

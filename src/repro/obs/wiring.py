@@ -39,7 +39,11 @@ _OSC_COUNTERS = ("direct_puts", "direct_gets", "remote_puts",
 _POLICY_KNOBS = ("short_threshold", "eager_threshold", "eager_slots",
                  "rendezvous_chunk", "direct_min_block",
                  "remote_put_threshold", "small_rma_threshold",
-                 "hier_collectives", "cross_chunk")
+                 "hier_collectives", "cross_chunk",
+                 "fastpath_cost_tables", "fastpath_closed_form",
+                 "fastpath_min_window")
+_FASTPATH_STATS = ("table_hits", "table_misses", "table_evictions",
+                   "windows", "window_chunks", "coalesced_events")
 _LINK_STATS = ("count", "saturated", "peak_load", "peak_local",
                "peak_cross", "bytes")
 
@@ -116,7 +120,25 @@ def build_registry(cluster: "Cluster") -> MetricsRegistry:
         lambda: {"sim.events": cluster.engine.events_processed,
                  "sim.time_us": cluster.engine.now},
     )
+    registry.register_collector(
+        [f"engine.fastpath_{key}" for key in _FASTPATH_STATS],
+        lambda: _fastpath_values(world, cluster.engine),
+    )
     return registry
+
+
+def _fastpath_values(world, engine) -> dict[str, int]:
+    out = {f"engine.fastpath_{key}": 0 for key in _FASTPATH_STATS}
+    for d in world.devices:
+        table = d.scheduler.costs.stats()
+        out["engine.fastpath_table_hits"] += table["hits"]
+        out["engine.fastpath_table_misses"] += table["misses"]
+        out["engine.fastpath_table_evictions"] += table["evictions"]
+        out["engine.fastpath_windows"] += d.scheduler.fastpath["windows"]
+        out["engine.fastpath_window_chunks"] += \
+            d.scheduler.fastpath["window_chunks"]
+    out["engine.fastpath_coalesced_events"] = engine.events_coalesced
+    return out
 
 
 def _fault_values(fabric) -> dict[str, int]:

@@ -16,6 +16,8 @@ import heapq
 from itertools import count
 from typing import Any, Optional
 
+import numpy as np
+
 from .errors import Deadlock, SimError
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process, ProcessGenerator
@@ -33,6 +35,9 @@ class Engine:
         self._active_process: Optional[Process] = None
         #: Count of events processed so far (diagnostics / perf counters).
         self.events_processed: int = 0
+        #: Count of timeline steps computed analytically by a fast path
+        #: (:meth:`coalesce_delays`) instead of through the event heap.
+        self.events_coalesced: int = 0
         self._time_hooks: list = []
 
     # -- factory helpers ------------------------------------------------------
@@ -53,6 +58,23 @@ class Engine:
         blocked forever; they are exempt from deadlock detection.
         """
         return Process(self, generator, name=name, daemon=daemon)
+
+    def wake_at(self, time: float, value: Any = None, name: str = "") -> Event:
+        """Create an already-triggered event firing at absolute ``time``.
+
+        Unlike ``timeout(time - now)`` this pins the event to ``time``
+        exactly: with float microseconds, ``now + (time - now)`` is not
+        generally equal to ``time``, and the fast paths (which compute
+        absolute completion instants analytically) need the clock to land
+        on the same float the event-stepped path would have produced.
+        """
+        if time < self.now:
+            raise ValueError(f"wake_at({time}) is in the past (now={self.now})")
+        event = Event(self, name=name)
+        event._ok = True
+        event._value = value
+        heapq.heappush(self._queue, (time, next(self._seq), event))
+        return event
 
     def all_of(self, events: list[Event], name: str = "") -> AllOf:
         """Event firing once every event in ``events`` has fired."""
@@ -101,6 +123,45 @@ class Engine:
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
         return self._queue[0][0] if self._queue else float("inf")
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently scheduled on the heap."""
+        return len(self._queue)
+
+    @property
+    def quiescent(self) -> bool:
+        """Nothing but the running process can move or observe the clock.
+
+        This is the engagement guard of the analytic fast paths: it holds
+        when there are no time hooks and every queued event is *inert* —
+        already triggered, scheduled at exactly ``now``, with nobody
+        waiting on it (a :class:`~repro.sim.channel.Channel.put`
+        confirmation, typically).  Inert events pop without advancing
+        time or running callbacks, so the window replay cannot be
+        perturbed by (or perturb) them.
+        """
+        if self._time_hooks:
+            return False
+        for when, _, event in self._queue:
+            if when != self.now or event.callbacks or not event._ok:
+                return False
+        return True
+
+    def coalesce_delays(self, start: float, deltas) -> np.ndarray:
+        """Absolute times of a delta cohort, accumulated analytically.
+
+        Returns ``times[i] = start + deltas[0] + ... + deltas[i]`` where
+        every addition is one IEEE-754 float64 add, left to right —
+        ``np.add.accumulate`` applies the operator sequentially, so the
+        result is bit-identical to stepping the clock through the same
+        delays one event at a time.  Counts the cohort in
+        :attr:`events_coalesced`.
+        """
+        arr = np.asarray(deltas, dtype=np.float64)
+        times = np.add.accumulate(np.concatenate(([start], arr)))[1:]
+        self.events_coalesced += arr.size
+        return times
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""

@@ -11,12 +11,16 @@ import pytest
 REPO = pathlib.Path(__file__).resolve().parent.parent
 
 
-def load_bench_compare():
+def load_tool(name):
     spec = importlib.util.spec_from_file_location(
-        "bench_compare", REPO / "tools" / "bench_compare.py")
+        name, REPO / "tools" / f"{name}.py")
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def load_bench_compare():
+    return load_tool("bench_compare")
 
 
 @pytest.fixture(scope="module")
@@ -52,7 +56,46 @@ class TestRunSmoke:
         assert not failed, "\n".join(lines)
 
 
+class TestRunPerf:
+    def test_emits_expected_metrics(self):
+        """One cheap pass over the wall-clock gauges: names, finiteness,
+        and the engagement/equality invariants run_perf itself enforces
+        (it raises if a fast-path run diverges in simulated time or no
+        closed-form window engaged).  The committed
+        ``BENCH_perf_baseline.json`` is gated in CI's perf-smoke lane,
+        not here — wall-clock numbers are too runner-dependent for a
+        hard tier-1 assertion."""
+        from repro.bench.perf import PERF_METRICS, run_perf
+
+        metrics = run_perf(repeats=1)
+        assert tuple(metrics) == PERF_METRICS
+        for name, value in metrics.items():
+            assert value > 0, name
+
+    def test_baseline_names_match(self):
+        from repro.bench.perf import PERF_METRICS
+
+        baseline = json.loads(
+            (REPO / "benchmarks" / "BENCH_perf_baseline.json").read_text())
+        assert tuple(baseline) == PERF_METRICS
+
+
 class TestBenchCompare:
+    def test_direction_table(self):
+        bc = load_bench_compare()
+        assert bc.DIRECTIONS["_per_sec"] == "higher"
+        assert bc.direction("wall_clock_ops_per_sec") == "higher"
+        assert bc.direction("sim_events_per_sec") == "higher"
+        assert bc.direction("pingpong_8b_us") == "lower"
+        assert bc.direction("fastpath_stream_speedup_x") == "higher"
+        assert bc.direction("something_else") is None
+
+    def test_classify_per_sec(self):
+        bc = load_bench_compare()
+        assert bc.classify("a_per_sec", 100.0, 30.0, 0.6)[0] == "regression"
+        assert bc.classify("a_per_sec", 100.0, 50.0, 0.6)[0] == "ok"
+        assert bc.classify("a_per_sec", 100.0, 300.0, 0.6)[0] == "improved"
+
     def test_classify_directions(self):
         bc = load_bench_compare()
         assert bc.classify("x_us", 100.0, 130.0, 0.2)[0] == "regression"
@@ -77,6 +120,22 @@ class TestBenchCompare:
         lines, failed = bc.compare({"a_us": 1.0}, {"a_us": 1.0, "b_us": 2.0})
         assert not failed
         assert any("new metric" in line for line in lines)
+
+    def test_budget_parses_quiet_and_fenced_summaries(self):
+        budget = load_tool("pytest_budget")
+        assert budget.total_seconds("5 passed, 38 deselected in 1.27s") == 1.27
+        assert budget.total_seconds(
+            "=== 1092 passed in 74.21s (0:01:14) ===") == 74.21
+        assert budget.total_seconds("no summary here") is None
+
+    def test_budget_exit_codes(self, tmp_path):
+        budget = load_tool("pytest_budget")
+        report = tmp_path / "durations.txt"
+        report.write_text("12 passed in 3.50s\n")
+        assert budget.main([str(report), "--budget-seconds", "60"]) == 0
+        assert budget.main([str(report), "--budget-seconds", "1"]) == 1
+        report.write_text("garbage\n")
+        assert budget.main([str(report), "--budget-seconds", "60"]) == 2
 
     def test_cli_exit_codes(self, tmp_path):
         bc_path = REPO / "tools" / "bench_compare.py"

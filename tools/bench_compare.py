@@ -6,17 +6,17 @@ Usage::
     python tools/bench_compare.py benchmarks/BENCH_baseline.json BENCH_ci.json
     python tools/bench_compare.py baseline.json current.json --tolerance 0.1
 
-The metric name's suffix carries the comparison direction (the convention
-set by :mod:`repro.bench.smoke`):
+The metric name's suffix carries the comparison direction (the
+convention set by :mod:`repro.bench.smoke` and :mod:`repro.bench.perf`);
+:data:`DIRECTIONS` is the authoritative suffix table:
 
-* ``*_us``   — simulated microseconds, lower is better; a regression is
-  the current value exceeding baseline by more than the tolerance;
-* ``*_mibs`` — MiB/s, higher is better; a regression is the current
+* ``*_us``      — simulated microseconds, lower is better; a regression
+  is the current value exceeding baseline by more than the tolerance;
+* ``*_mibs``    — MiB/s, higher is better; a regression is the current
   value falling below baseline by more than the tolerance;
-* ``*_ops`` — service operations per second, higher is better (same
-  direction as ``*_mibs``);
-* ``*_x``   — a speedup ratio, higher is better (same direction as
-  ``*_mibs``);
+* ``*_ops``     — service operations per second, higher is better;
+* ``*_x``       — a speedup ratio, higher is better;
+* ``*_per_sec`` — wall-clock engine throughput, higher is better;
 * anything else — direction unknown; a regression is the relative
   difference exceeding the tolerance either way.
 
@@ -34,6 +34,26 @@ import sys
 
 DEFAULT_TOLERANCE = 0.20
 
+#: Metric-name suffix -> comparison direction.  ``lower`` means a larger
+#: current value is the regression (simulated time); ``higher`` means a
+#: smaller one is (throughput, bandwidth, speedup).  Longest suffix wins.
+DIRECTIONS = {
+    "_us": "lower",
+    "_mibs": "higher",
+    "_ops": "higher",
+    "_x": "higher",
+    "_per_sec": "higher",
+}
+
+
+def direction(name: str) -> str | None:
+    """The comparison direction of metric ``name`` (``lower`` /
+    ``higher``), or ``None`` when no :data:`DIRECTIONS` suffix matches."""
+    for suffix in sorted(DIRECTIONS, key=len, reverse=True):
+        if name.endswith(suffix):
+            return DIRECTIONS[suffix]
+    return None
+
 
 def classify(name: str, baseline: float, current: float,
              tolerance: float) -> tuple[str, float]:
@@ -44,9 +64,10 @@ def classify(name: str, baseline: float, current: float,
         rel = 0.0 if current == 0 else float("inf")
     else:
         rel = (current - baseline) / abs(baseline)
-    if name.endswith("_us"):
+    sense = direction(name)
+    if sense == "lower":
         worse, better = rel > tolerance, rel < 0
-    elif name.endswith("_mibs") or name.endswith("_ops") or name.endswith("_x"):
+    elif sense == "higher":
         worse, better = rel < -tolerance, rel > 0
     else:
         worse, better = abs(rel) > tolerance, False

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Soft total-runtime budget for a pytest run.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest -q --durations=25 | tee durations.txt
+    python tools/pytest_budget.py durations.txt --budget-seconds 300
+
+Parses the wall-clock total out of pytest's summary line (``=== 1092
+passed in 14.36s ===``, or ``in 74.21s (0:01:14)`` for long runs) and
+exits 1 when it exceeds the budget.  CI runs this with
+``continue-on-error`` — the budget is advisory, a tripwire that makes
+creeping suite runtime visible in the job summary without blocking a
+merge on a slow runner.  Exit 2 means no summary line was found (the
+pytest run itself failed or the tee went missing), which is always
+worth a look.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+# Matches both the -q form ("5 passed, 38 deselected in 1.27s") and the
+# fenced form ("=== 1092 passed in 74.21s (0:01:14) ===").
+SUMMARY_RE = re.compile(
+    r"(?:passed|failed|error|skipped|deselected|no tests ran)"
+    r"[^\n]*? in (\d+(?:\.\d+)?)s\b"
+)
+
+
+def total_seconds(text: str) -> float | None:
+    """Wall-clock total of the last pytest summary line in ``text``."""
+    matches = SUMMARY_RE.findall(text)
+    return float(matches[-1]) if matches else None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="captured pytest output (tee file)")
+    parser.add_argument("--budget-seconds", type=float, default=600.0,
+                        help="soft wall-clock budget (default: 600)")
+    args = parser.parse_args(argv)
+
+    with open(args.report) as fh:
+        total = total_seconds(fh.read())
+    if total is None:
+        print("pytest_budget: no pytest summary line found in "
+              f"{args.report}", file=sys.stderr)
+        return 2
+    verdict = "OVER BUDGET" if total > args.budget_seconds else "ok"
+    print(f"pytest total {total:.2f}s / budget "
+          f"{args.budget_seconds:.0f}s: {verdict}")
+    return 1 if total > args.budget_seconds else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
