@@ -57,6 +57,8 @@ SMOKE_METRICS = (
     "scenario_steal_tasks_ops",
     "scenario_coloc_p99_us",
     "scenario_coloc_rings_p99_us",
+    "qos_reserved_throughput_ops",
+    "qos_besteffort_p99_us",
 )
 
 #: (smoke gauge, scenario) pairs: each end-to-end scenario's headline
@@ -67,6 +69,7 @@ SCENARIO_HEADLINES = (
     ("scenario_steal_tasks_ops", "work_stealing"),
     ("scenario_coloc_p99_us", "colocation"),
     ("scenario_coloc_rings_p99_us", "colocation_rings"),
+    ("qos_reserved_throughput_ops", "qos_contention"),
 )
 
 
@@ -152,6 +155,12 @@ def smoke_registry() -> "MetricsRegistry":
     for gauge_name, scenario in SCENARIO_HEADLINES:
         report = run_scenario(scenario, seed=1).report
         gauges[gauge_name].set(report["headline"][gauge_name])
+        if scenario == "qos_contention":
+            # Companion gauge off the same cell: the throttled tenant's
+            # protected-phase tail latency (the graceful-degradation
+            # side of the isolation trade).
+            gauges["qos_besteffort_p99_us"].set(
+                report["metrics"]["qos.besteffort_latency_us.p99"])
     return registry
 
 

@@ -81,6 +81,13 @@ class SCIFabric:
         #: wire-level transfer is recorded as one complete event under
         #: :data:`FABRIC_RANK` (with start/duration/ringlet detail).
         self.tracer = None
+        #: Wired by :meth:`repro.qos.QosManager.install`: when set, every
+        #: wire operation's injection duration is shaped by the QoS lane
+        #: rules (reserved traffic unshaped, best-effort throttled while
+        #: a link's reserved share is active).  ``None`` — and an
+        #: installed manager with no ACTIVE reservation — leave every
+        #: duration untouched.
+        self.qos = None
         self._ringlet_ids: dict = {}
         #: Dense ringlet id -> human-readable track name, for topologies
         #: that name their rings (the timeline exporter falls back to
@@ -301,6 +308,8 @@ class SCIFabric:
         nbytes = run.total_bytes
         if nbytes == 0:
             return cost
+        if self.qos is not None:
+            duration = self.qos.shape_duration(src, route, nbytes, duration)
         t0 = self.engine.now
         fault = self._draw_fault(src, dst, nbytes)
         if fault is not None:
@@ -329,6 +338,8 @@ class SCIFabric:
             + 2 * max(0, route.hops - 1) * params.link.hop_latency
         )
         duration = txns * per_txn + params.adapter.pio_op_overhead
+        if self.qos is not None:
+            duration = self.qos.shape_duration(src, route, nbytes, duration)
         t0 = self.engine.now
         fault = self._draw_fault(src, dst, nbytes)
         if fault is not None:
@@ -348,6 +359,8 @@ class SCIFabric:
         duration = dma_cost(nbytes, params) * self._retry_factor()
         if nbytes == 0:
             return 0.0
+        if self.qos is not None:
+            duration = self.qos.shape_duration(src, route, nbytes, duration)
         t0 = self.engine.now
         fault = self._draw_fault(src, dst, nbytes)
         if fault is not None:
@@ -382,6 +395,8 @@ class SCIFabric:
         if nbytes == 0:
             return
         duration *= self._retry_factor()
+        if self.qos is not None:
+            duration = self.qos.shape_duration(src, route, nbytes, duration)
         t0 = self.engine.now
         fault = self._draw_fault(src, dst, nbytes, tearable=tearable)
         if fault is not None:

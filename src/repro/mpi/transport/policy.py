@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Optional
 
+from ...qos.lanes import DEFAULT_LANES, QosLanePolicy
 from ..pt2pt.config import DEFAULT_PROTOCOL, NonContigMode, ProtocolConfig
 from .fastpath import DEFAULT_FASTPATH, FastPathPolicy
 
@@ -34,6 +35,7 @@ __all__ = [
     "FastPathPolicy",
     "OSCStrategy",
     "Protocol",
+    "QosLanePolicy",
     "RecoveryPolicy",
     "TransferMode",
     "TransferPolicy",
@@ -122,6 +124,12 @@ class TransferPolicy:
     #: :func:`repro.mpi.transport.fastpath.set_fastpath_enabled`
     #: (process-wide).
     fastpath: FastPathPolicy = DEFAULT_FASTPATH
+    #: QoS lane knobs (reserved-share budget, best-effort throttle floor,
+    #: credit priority; see ``docs/QOS.md``).  Only consulted while a
+    #: :class:`~repro.qos.QosManager` is installed on the fabric *and*
+    #: holds an ACTIVE reservation — otherwise the data path is
+    #: bit-identical to a QoS-free build.
+    qos: QosLanePolicy = DEFAULT_LANES
 
     def bind(self, config: ProtocolConfig) -> "TransferPolicy":
         """This policy rebound to another protocol config (keeps subclass)."""
@@ -291,6 +299,7 @@ class TransferPolicy:
             "fastpath_cost_tables": int(self.fastpath.cost_tables),
             "fastpath_closed_form": int(self.fastpath.closed_form),
             "fastpath_min_window": self.fastpath.min_window,
+            **self.qos.describe(),
         }
 
 

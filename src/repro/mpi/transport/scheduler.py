@@ -45,6 +45,7 @@ from ..pt2pt.costs import (
     pack_cost_generic,
 )
 from ..pt2pt.messages import CreditReturn, EagerMsg, RndvRequest, ShortMsg
+from ...qos.lanes import LANE_RESERVED
 from .fastpath import CostTable, RecvWindowCosts, StreamWindow, fastpath_enabled
 from .policy import TransferMode
 from .store import RemoteStore
@@ -397,6 +398,12 @@ class TransferScheduler:
         fabric = device.world.smi.fabric
         if fabric.fault_plan is not None or fabric._error_rate != 0.0:
             return None
+        if fabric.qos is not None and fabric.qos.enforcing:
+            # Active reservations shape per-transfer durations; the
+            # closed-form replay assumes the unshaped cost model, so the
+            # event-stepped path (which consults the QoS hook on every
+            # wire op) must run instead.
+            return None
         if device.tracer is not None or fabric.tracer is not None:
             return None
         network = fabric.network
@@ -639,6 +646,23 @@ class TransferScheduler:
             plan.execute_unpack(mem, base, seg_off + pos, window.payload)
         return pos + nbytes
 
+    def _rndv_priority(self, source: int) -> int:
+        """Queue priority of ``source``'s rendezvous stream at this
+        receiver's slot (lower wins).
+
+        With QoS enforcement active and ``credit_priority`` on,
+        reserved-lane senders rank ahead (0) of best-effort senders (1),
+        so a reserved stream is granted the rendezvous buffer before
+        best-effort streams that queued earlier.  In every other case all
+        requests rank 0 — exact FIFO, bit-identical to the QoS-free
+        scheduler.
+        """
+        qos = self.device.world.smi.fabric.qos
+        if qos is None or not qos.enforcing or not qos.lanes.credit_priority:
+            return 0
+        node = self.device.smi.node_of(source).node_id
+        return 0 if qos.lane_of_node(node) == LANE_RESERVED else 1
+
     def recv_rndv(self, msg: RndvRequest, mem, base, ft, plan, count, seg_off,
                   capacity, mode, contiguous):
         """Receiver side of the chunk stream: drain, unpack, credit."""
@@ -648,7 +672,8 @@ class TransferScheduler:
         total = msg.nbytes
         if total > capacity:
             raise MessageTruncated(f"rendezvous of {total} B > buffer {capacity} B")
-        yield device.rndv_lock.request()
+        yield device.rndv_lock.request(
+            priority=self._rndv_priority(msg.envelope.source))
         try:
             chunk_channel: Channel = Channel(
                 device.engine, name=f"rndv-chunks-r{device.rank}"

@@ -14,11 +14,14 @@ The :class:`~repro.trace.Tracer` records three shapes of event:
 * **instant events** — everything else (``recv.matched``,
   ``fabric.fault``, ``store.emulated``).  Exported as ``i`` events.
 
-Track layout: one track (tid) per rank under the ``ranks`` process, and
-one track per fabric ringlet under the ``fabric`` process (fabric events
-are recorded with the pseudo-rank ``FABRIC_RANK`` and a ``ringlet``
-detail).  Timestamps are simulated microseconds verbatim — exactly the
-unit ``chrome://tracing`` / Perfetto expect in ``ts``/``dur``.
+Track layout: one track (tid) per rank under the ``ranks`` process, one
+track per fabric ringlet under the ``fabric`` process (fabric events are
+recorded with the pseudo-rank ``FABRIC_RANK`` and a ``ringlet`` detail),
+and one track per QoS tenant under the ``tenants`` process (QoS
+lifecycle events are recorded with the pseudo-rank ``TENANT_RANK`` and a
+``tenant`` detail; see :mod:`repro.qos`).  Timestamps are simulated
+microseconds verbatim — exactly the unit ``chrome://tracing`` / Perfetto
+expect in ``ts``/``dur``.
 
 The exported object is ``{"traceEvents": [...], "displayTimeUnit": "ms",
 "otherData": {...}}``; event order is deterministic (metadata first, then
@@ -35,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "FABRIC_RANK",
+    "TENANT_RANK",
     "chrome_trace",
     "text_timeline",
     "write_chrome_trace",
@@ -43,8 +47,12 @@ __all__ = [
 #: Pseudo-rank under which fabric-level events are recorded.
 FABRIC_RANK = -1
 
+#: Pseudo-rank under which per-tenant QoS events are recorded.
+TENANT_RANK = -2
+
 _RANKS_PID = 0
 _FABRIC_PID = 1
+_TENANTS_PID = 2
 
 #: Span/event kind prefix → trace_event category.
 _CATEGORIES = {
@@ -53,6 +61,7 @@ _CATEGORIES = {
     "chunk": "transport",
     "store": "transport",
     "fabric": "fabric",
+    "qos": "qos",
 }
 
 
@@ -79,13 +88,19 @@ def chrome_trace(tracer: "Tracer",
     puts scenario parameters and the fault-plan replay log there).
     """
     events: list[dict] = []
-    ranks = sorted({ev.rank for ev in tracer.events if ev.rank != FABRIC_RANK})
+    ranks = sorted({ev.rank for ev in tracer.events
+                    if ev.rank not in (FABRIC_RANK, TENANT_RANK)})
     ringlets = sorted({
         ev.detail.get("ringlet", 0)
         for ev in tracer.events if ev.rank == FABRIC_RANK
     })
+    tenants = sorted({
+        str(ev.detail.get("tenant", ""))
+        for ev in tracer.events if ev.rank == TENANT_RANK
+    })
+    tenant_tids = {name: tid for tid, name in enumerate(tenants)}
 
-    # Track metadata: one process for ranks, one for the fabric.
+    # Track metadata: one process each for ranks, fabric and tenants.
     if ranks:
         events.append(_meta("process_name", _RANKS_PID, args={"name": "ranks"}))
         for rank in ranks:
@@ -99,9 +114,15 @@ def chrome_trace(tracer: "Tracer",
             name = labels.get(ringlet, f"ringlet {ringlet}")
             events.append(_meta("thread_name", _FABRIC_PID, tid=ringlet,
                                 args={"name": name}))
+    if tenants:
+        events.append(_meta("process_name", _TENANTS_PID,
+                            args={"name": "tenants"}))
+        for name, tid in tenant_tids.items():
+            events.append(_meta("thread_name", _TENANTS_PID, tid=tid,
+                                args={"name": f"tenant {name}"}))
 
     for ev in tracer.events:
-        events.append(_convert(ev))
+        events.append(_convert(ev, tenant_tids))
 
     trace: dict[str, Any] = {
         "traceEvents": events,
@@ -117,10 +138,15 @@ def _meta(name: str, pid: int, tid: int = 0, args: Optional[dict] = None) -> dic
             "args": args or {}}
 
 
-def _convert(ev: "TraceEvent") -> dict:
-    fabric = ev.rank == FABRIC_RANK
-    pid = _FABRIC_PID if fabric else _RANKS_PID
-    tid = ev.detail.get("ringlet", 0) if fabric else ev.rank
+def _convert(ev: "TraceEvent",
+             tenant_tids: Optional[dict[str, int]] = None) -> dict:
+    if ev.rank == FABRIC_RANK:
+        pid, tid = _FABRIC_PID, ev.detail.get("ringlet", 0)
+    elif ev.rank == TENANT_RANK:
+        pid = _TENANTS_PID
+        tid = (tenant_tids or {}).get(str(ev.detail.get("tenant", "")), 0)
+    else:
+        pid, tid = _RANKS_PID, ev.rank
     base: dict[str, Any] = {"pid": pid, "tid": tid, "cat": _category(ev.kind)}
 
     if ev.kind.endswith(".begin"):

@@ -1,0 +1,150 @@
+"""The reservation state machine (OpenNSA-style connection lifecycle).
+
+A :class:`Reservation` is one tenant's claim to ``rate`` B/µs on every
+data link of a set of fabric paths.  Its life is an explicit state
+machine::
+
+    REQUESTED --admit--> RESERVED --provision--> PROVISIONED
+                                                     |
+                              +--activate------------+
+                              v
+                           ACTIVE --revoke--> REVOKED --reprovision--> PROVISIONED
+                              |                  |                        (epoch+1)
+                              +----release-------+---> RELEASED
+
+* **RESERVED** — admission granted: the rate is charged against the
+  per-link budget, but nothing is enforced yet.
+* **PROVISIONED** — the data plane is set up (the simulated analogue of
+  circuit provisioning; the manager charges a setup cost).
+* **ACTIVE** — enforcement is live: the reserved share throttles
+  best-effort traffic on the reservation's links and the tenant's own
+  traffic rides the reserved lane.
+* **REVOKED** — the fault ladder tore down a segment mapping
+  (:class:`~repro.hardware.sci.faults.FaultPlan` ``unmap`` events); the
+  admission charge is kept, enforcement stops, and ``reprovision()``
+  re-establishes the data plane under a new ``epoch``.
+* **RELEASED** — terminal; the admission charge is withdrawn.
+  ``release()`` is idempotent (releasing a released reservation is a
+  no-op), so teardown paths need no bookkeeping of their own.
+
+All transitions are pure state (no simulated time, no engine): costs and
+metrics live in :class:`~repro.qos.manager.QosManager`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["Reservation", "ReservationState", "ReservationStateError"]
+
+
+class ReservationState:
+    """The reservation lifecycle states."""
+
+    REQUESTED = "requested"
+    RESERVED = "reserved"
+    PROVISIONED = "provisioned"
+    ACTIVE = "active"
+    REVOKED = "revoked"
+    RELEASED = "released"
+
+    ALL = (REQUESTED, RESERVED, PROVISIONED, ACTIVE, REVOKED, RELEASED)
+
+
+class ReservationStateError(RuntimeError):
+    """An illegal lifecycle transition was attempted."""
+
+
+class Reservation:
+    """One admitted bandwidth claim: ``rate`` B/µs on ``links``.
+
+    ``paths`` are the (src node, dst node) pairs the tenant asked for;
+    ``links`` is the union of the data links of their routes (what the
+    admission controller charged).  ``epoch`` counts re-provisions after
+    fault-driven revocations; ``history`` records every state ever
+    entered, in order — reports embed it as the lifecycle proof.
+    """
+
+    def __init__(self, res_id: int, tenant: str,
+                 paths: Sequence[tuple[int, int]], rate: float,
+                 links: Sequence[object]):
+        if rate <= 0:
+            raise ValueError(f"reservation rate must be > 0, got {rate}")
+        self.res_id = res_id
+        self.tenant = tenant
+        self.paths = tuple(paths)
+        self.rate = float(rate)
+        self.links = tuple(links)
+        self.state = ReservationState.REQUESTED
+        self.epoch = 0
+        self.history: list[str] = [self.state]
+
+    # -- transitions ----------------------------------------------------------
+
+    def _move(self, allowed: tuple[str, ...], to: str, verb: str) -> None:
+        if self.state not in allowed:
+            raise ReservationStateError(
+                f"cannot {verb} reservation #{self.res_id} "
+                f"({self.tenant}): state is {self.state!r}, "
+                f"needs one of {allowed}"
+            )
+        self.state = to
+        self.history.append(to)
+
+    def admit(self) -> None:
+        """REQUESTED -> RESERVED (called by the admission controller)."""
+        self._move((ReservationState.REQUESTED,),
+                   ReservationState.RESERVED, "admit")
+
+    def provision(self) -> None:
+        """RESERVED -> PROVISIONED: the data plane is set up."""
+        self._move((ReservationState.RESERVED,),
+                   ReservationState.PROVISIONED, "provision")
+
+    def activate(self) -> None:
+        """PROVISIONED -> ACTIVE: enforcement begins."""
+        self._move((ReservationState.PROVISIONED,),
+                   ReservationState.ACTIVE, "activate")
+
+    def revoke(self) -> None:
+        """PROVISIONED/ACTIVE -> REVOKED (fault-driven teardown)."""
+        self._move((ReservationState.PROVISIONED, ReservationState.ACTIVE),
+                   ReservationState.REVOKED, "revoke")
+
+    def reprovision(self) -> None:
+        """REVOKED -> PROVISIONED under a new epoch."""
+        self._move((ReservationState.REVOKED,),
+                   ReservationState.PROVISIONED, "reprovision")
+        self.epoch += 1
+
+    def release(self) -> None:
+        """Any live state -> RELEASED; idempotent on RELEASED."""
+        if self.state == ReservationState.RELEASED:
+            return
+        self._move((ReservationState.RESERVED, ReservationState.PROVISIONED,
+                    ReservationState.ACTIVE, ReservationState.REVOKED),
+                   ReservationState.RELEASED, "release")
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def enforcing(self) -> bool:
+        return self.state == ReservationState.ACTIVE
+
+    def describe(self) -> dict:
+        """JSON-ready lifecycle record (links stringified: they may be
+        arbitrary hashable topology objects)."""
+        return {
+            "epoch": self.epoch,
+            "history": list(self.history),
+            "id": self.res_id,
+            "links": sorted(map(str, self.links)),
+            "paths": [list(p) for p in self.paths],
+            "rate": self.rate,
+            "state": self.state,
+            "tenant": self.tenant,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Reservation #{self.res_id} {self.tenant} "
+                f"{self.state} rate={self.rate:.1f} epoch={self.epoch}>")

@@ -12,6 +12,7 @@ from .base import (SCENARIO_COUNTERS, SCENARIO_HISTOGRAMS, Scenario,
 from .colocation import (ColocationRingsScenario, ColocationScenario,
                          HaloConfig, halo_program, run_halo_standalone)
 from .graph import GraphScenario
+from .qos_contention import QosContentionScenario
 from .tasks import WorkStealingScenario, task_costs
 from .training import TrainingScenario
 
@@ -22,6 +23,7 @@ __all__ = [
     "ColocationScenario",
     "GraphScenario",
     "HaloConfig",
+    "QosContentionScenario",
     "Scenario",
     "ScenarioError",
     "ScenarioInstruments",

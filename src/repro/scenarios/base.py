@@ -208,6 +208,15 @@ class Scenario:
         only, so the cell stays byte-deterministic."""
         return None
 
+    def fault_plan(self, params: ScenarioParams) -> FaultPlan:
+        """The faulty cell's plan (default: the canonical matrix plan).
+
+        Scenarios whose oracle needs a specific fault to land inside the
+        workload's access budget (e.g. the segment revocation driving the
+        QoS reservation ladder) override this; anything it derives must
+        come from ``params`` only, keeping the cell byte-deterministic."""
+        return scenario_fault_plan(self.name, params.seed)
+
     def resolve(self, params: ScenarioParams) -> dict:
         """Concrete problem sizing for ``params`` (JSON-ready)."""
         raise NotImplementedError
@@ -381,7 +390,7 @@ def run_scenario(name: str, params: Optional[ScenarioParams] = None,
     params = replace(params or ScenarioParams(), **overrides)
     reset_plan_cache()
 
-    faults = scenario_fault_plan(name, params.seed) if params.faults else None
+    faults = scenario.fault_plan(params) if params.faults else None
     cluster = Cluster(n_nodes=scenario.n_ranks(params), faults=faults,
                       topology=scenario.topology(params))
     tracer = attach_tracer(cluster)

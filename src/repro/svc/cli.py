@@ -25,6 +25,7 @@ import json
 import sys
 
 from ..hardware.sci.faults import FaultPlan
+from ..qos import AdmissionDenied
 from .driver import ServiceConfig, run_service
 from .workload import DISTRIBUTIONS, WorkloadSpec
 
@@ -63,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="Zipf exponent for --dist zipfian (default: 1.1)")
     parser.add_argument("--think-time", type=float, default=0.0,
                         help="client pause between ops in µs (default: 0)")
+    parser.add_argument("--qos-reserve", type=float, default=0.0,
+                        metavar="SHARE",
+                        help="reserve this fraction of the tightest "
+                             "client->server path for the service tenant "
+                             "(clients run reserved-lane, policed to that "
+                             "rate; default: 0 = no QoS)")
     parser.add_argument("--seed", type=int, default=1,
                         help="workload seed (default: 1)")
     parser.add_argument("--faults-seed", type=int, default=None,
@@ -98,10 +105,15 @@ def main(argv=None) -> int:
         n_clients=args.clients,
         slots_per_shard=args.slots,
         counter_slots=args.counter_slots,
+        qos_reserve=args.qos_reserve,
         workload=spec,
     )
     faults = _fault_plan(args.faults_seed) if args.faults_seed is not None else None
-    report = run_service(config, faults=faults)
+    try:
+        report = run_service(config, faults=faults)
+    except AdmissionDenied as exc:
+        print(f"repro-svc: {exc}", file=sys.stderr)
+        return 2
 
     # With --json -, stdout carries exactly one JSON document; the human
     # summary moves to stderr.
@@ -122,6 +134,11 @@ def main(argv=None) -> int:
           f"imbalance={report['shards']['imbalance']:.2f}", file=out)
     print(f"  faults: injected={report['faults']['injected']:.0f} "
           f"fallbacks={report['faults']['fallbacks']:.0f}", file=out)
+    if "qos" in report:
+        counters = report["qos"]["counters"]
+        print(f"  qos: reserve={args.qos_reserve:.2f} "
+              f"policed={counters['policed_transfers']} "
+              f"reserved_xfers={counters['reserved_transfers']}", file=out)
     verdict = "verified" if report["verified"] else "COUNTER MISMATCH"
     print(f"  counters: {report['counters_checked']} checked, {verdict}",
           file=out)

@@ -47,6 +47,12 @@ class ServiceConfig:
     slots_per_shard: int = 64
     counter_slots: int = 16
     hot_factor: float = 2.0
+    #: > 0 installs a :class:`~repro.qos.QosManager` and admits one
+    #: reservation for the service tenant over every client -> server
+    #: path, at this fraction of the tightest path's capacity.  Clients
+    #: run reserved-lane (policed to that rate, rendezvous credit
+    #: priority); 0 leaves the fabric QoS-free.
+    qos_reserve: float = 0.0
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
 
     def __post_init__(self):
@@ -54,6 +60,9 @@ class ServiceConfig:
             raise ValueError("need at least one server rank")
         if self.n_clients < 1:
             raise ValueError("need at least one client rank")
+        if not 0.0 <= self.qos_reserve < 1.0:
+            raise ValueError(
+                f"qos_reserve {self.qos_reserve} outside [0, 1)")
 
     def describe(self) -> dict:
         return {
@@ -62,6 +71,7 @@ class ServiceConfig:
             "slots_per_shard": self.slots_per_shard,
             "counter_slots": self.counter_slots,
             "hot_factor": self.hot_factor,
+            "qos_reserve": self.qos_reserve,
         }
 
 
@@ -90,6 +100,22 @@ def run_service(config: ServiceConfig,
                       hot_factor=config.hot_factor)
     instruments = SvcInstruments.registered(registry)
     _register_shard_collector(registry, shards)
+
+    qos = None
+    if config.qos_reserve > 0.0:
+        from ..qos import QosManager
+
+        qos = QosManager.install(cluster)
+        qos.register_metrics(registry)
+        qos.add_tenant("svc", range(n_servers + n_clients))
+        paths = [(client, server)
+                 for client in range(n_servers, n_servers + n_clients)
+                 for server in range(n_servers)]
+        rate = config.qos_reserve * min(
+            qos.route_capacity(client, server) for client, server in paths)
+        reservation = qos.reserve("svc", paths, rate)  # may raise AdmissionDenied
+        qos.provision(reservation)
+        qos.activate(reservation)
 
     streams = [
         client_ops(spec, cid, max_counter_keys=shards.max_counter_keys)
@@ -146,6 +172,10 @@ def run_service(config: ServiceConfig,
     run = cluster.run(program)
     total_ops = sum(run.results)
     snap = registry.snapshot()
+    qos_section = (
+        {} if qos is None
+        else {"qos": {**qos.describe(), "enforcing": qos.enforcing}}
+    )
 
     def latency(kind: str) -> dict:
         prefix = f"svc.{kind}_latency_us"
@@ -181,5 +211,6 @@ def run_service(config: ServiceConfig,
             "hot": snap["svc.hot_shards"],
             "imbalance": snap["svc.shard_imbalance"],
         },
+        **qos_section,
         "metrics": snap,
     }

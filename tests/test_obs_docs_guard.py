@@ -111,6 +111,23 @@ class TestMetricNames:
                 "but missing from docs/OBSERVABILITY.md"
             )
 
+    def test_every_qos_metric_documented(self):
+        """The QoS manager also registers outside build_registry —
+        enumerate counters, gauges and histograms from its name tuples."""
+        from repro.obs.metrics import _HISTOGRAM_FIELDS
+        from repro.qos import QOS_COUNTERS, QOS_GAUGES, QOS_HISTOGRAMS
+
+        names = [f"qos.{counter}" for counter in QOS_COUNTERS]
+        names += [f"qos.{gauge}" for gauge in QOS_GAUGES]
+        names += [f"qos.{hist}.{field}" for hist in QOS_HISTOGRAMS
+                  for field in _HISTOGRAM_FIELDS]
+        assert len(names) >= 25
+        for name in names:
+            assert f"`{name}`" in DOC, (
+                f"qos metric {name!r} is registered by QosManager but "
+                "missing from docs/OBSERVABILITY.md"
+            )
+
     def test_every_scenario_headline_gauge_documented(self):
         from repro.bench.smoke import SCENARIO_HEADLINES
         from repro.scenarios import get_scenario
@@ -133,6 +150,12 @@ class TestDocumentationMap:
                      "SCENARIOS.md"):
             text = (ROOT / "docs" / name).read_text()
             assert "OBSERVABILITY.md" in text, name
+
+    def test_qos_cross_linked(self):
+        for name in ("PROTOCOLS.md", "TOPOLOGY.md", "FAULTS.md",
+                     "SCENARIOS.md", "OBSERVABILITY.md"):
+            text = (ROOT / "docs" / name).read_text()
+            assert "QOS.md" in text, name
 
     def test_experiments_have_regeneration_commands(self):
         experiments = (ROOT / "EXPERIMENTS.md").read_text()

@@ -1,0 +1,183 @@
+"""End-to-end tests of the ``qos_contention`` scenario.
+
+``tests/test_scenarios.py`` already runs this cell through the generic
+matrix (byte-identical reports, oracle verification, invariants); this
+module pins the QoS-specific content of the report — the isolation
+numbers the scenario exists to prove, the admission-denial evidence, the
+fault-driven revocation ladder, and the per-tenant Perfetto tracks.
+"""
+
+import json
+
+import pytest
+
+from repro.qos import TENANT_RANK
+from repro.scenarios import run_scenario
+from repro.scenarios.qos_contention import (
+    BESTEFFORT_NODES,
+    RESERVED_NODES,
+    SENDER_PEER,
+    SHARE_PER_PATH,
+    QosContentionScenario,
+)
+
+_CACHE: dict = {}
+
+
+def cell(seed: int = 1, faults: bool = False):
+    key = (seed, faults)
+    if key not in _CACHE:
+        _CACHE[key] = run_scenario("qos_contention", seed=seed, faults=faults)
+    return _CACHE[key]
+
+
+class TestIsolationStory:
+    def test_reserved_tenant_keeps_its_slo_under_contention(self):
+        """The headline claim: with reservations active, the reserved
+        tenant keeps >= 90 % of its solo (reservation-promised)
+        throughput while the best-effort tenant blasts the crossbar."""
+        iso = cell().report["app"]["isolation"]
+        assert iso["reserved_isolation_ratio"] >= 0.90
+        assert (iso["reserved_protected_ops_per_sec"]
+                <= iso["reserved_solo_ops_per_sec"])
+
+    def test_contended_phase_really_is_a_fight(self):
+        iso = cell().report["app"]["isolation"]
+        assert (iso["reserved_contended_ops_per_sec"]
+                < 0.95 * iso["reserved_solo_ops_per_sec"])
+
+    def test_besteffort_degrades_gracefully_to_the_floor(self):
+        report = cell().report
+        iso = report["app"]["isolation"]
+        floor = report["app"]["qos"]["lanes"]["besteffort_floor"]
+        assert iso["besteffort_floor_ratio"] >= floor
+        # Throttling shows up as a latency hit, not a blackout.
+        assert iso["besteffort_p99_us"] > iso["besteffort_p99_contended_us"]
+        assert iso["besteffort_protected_ops_per_sec"] > 0
+
+    def test_all_qos_checks_pass_and_gate_verified(self):
+        app = cell().report["app"]
+        assert app["verified"]
+        assert all(c["ok"] for c in app["qos_checks"].values())
+        assert app["bad_payloads"] == []
+
+    def test_enforcement_counters_show_both_lanes_shaped(self):
+        counters = cell().report["app"]["qos"]["counters"]
+        assert counters["policed_transfers"] > 0
+        assert counters["throttled_transfers"] > 0
+        assert counters["reserved_transfers"] >= counters["policed_transfers"]
+        assert counters["denials"] == 1
+        assert counters["releases"] == 2  # one per reservation; re-release
+        assert counters["activations"] == 2  # is a counted-once no-op
+
+    def test_headline_is_reserved_protected_throughput(self):
+        report = cell().report
+        assert (report["headline"]["qos_reserved_throughput_ops"]
+                == report["app"]["isolation"]["reserved_protected_ops_per_sec"])
+
+
+class TestAdmissionEvidence:
+    def test_exact_budget_admitted_then_oversize_denied(self):
+        """Two 0.4-share paths land exactly on the 0.8 crossbar budget
+        (inclusive boundary); the third, oversized request is denied with
+        per-link evidence embedded in the report."""
+        app = cell().report["app"]
+        denial = app["admission_denial"]
+        assert denial is not None and not denial["granted"]
+        assert any(row["requested"] > row["headroom"]
+                   for row in denial["links"])
+        states = [r["state"] for r in app["qos"]["reservations"]]
+        assert states == ["released", "released"]
+
+    def test_tenants_and_shares_in_report(self):
+        qos = cell().report["app"]["qos"]
+        assert qos["tenants"] == {"tenant_r": sorted(RESERVED_NODES),
+                                  "tenant_b": sorted(BESTEFFORT_NODES)}
+        assert qos["lanes"]["max_share"] == pytest.approx(2 * SHARE_PER_PATH)
+
+
+class TestRevocationLadder:
+    def test_faulty_cell_runs_revoke_reprovision(self):
+        app = cell(faults=True).report["app"]
+        ladder = app["qos_checks"]["revocation_ladder"]
+        assert ladder["ok"]
+        assert ladder["revocations"] >= 1
+        assert ladder["reprovisions"] == ladder["revocations"]
+        # Every reservation's history carries the ladder and a bumped epoch.
+        for res in app["qos"]["reservations"]:
+            assert "revoked" in res["history"]
+            assert res["epoch"] >= 1
+            assert res["state"] == "released"
+
+    def test_clean_cell_has_no_ladder(self):
+        app = cell().report["app"]
+        assert "revocation_ladder" not in app["qos_checks"]
+        assert app["qos"]["counters"]["revocations"] == 0
+        for res in app["qos"]["reservations"]:
+            assert res["epoch"] == 0
+
+
+class TestObservability:
+    def test_qos_metrics_embedded_in_report(self):
+        m = cell().report["metrics"]
+        assert m["qos.tenants"] == 2.0
+        assert m["qos.reserved_share_peak"] == pytest.approx(0.8)
+        assert m["qos.reserved_latency_us.count"] > 0
+        assert m["qos.besteffort_latency_us.count"] > 0
+        assert m["qos.active_reservations"] == 0.0  # released by run end
+
+    def test_perfetto_tenant_tracks(self):
+        """Lifecycle transitions land on per-tenant tracks (the QoS
+        pseudo-pid), with the tenant name as the track label."""
+        from repro.obs.timeline import chrome_trace
+
+        doc = chrome_trace(cell().tracer)
+        tenant_tracks = {ev["args"]["name"] for ev in doc["traceEvents"]
+                        if ev.get("ph") == "M"
+                        and ev["name"] == "thread_name"
+                        and ev["pid"] == 2}
+        # Only tenant_r drives lifecycle events (tenant_b never reserves).
+        assert tenant_tracks == {"tenant tenant_r"}
+        kinds = {ev["name"] for ev in doc["traceEvents"]
+                 if ev.get("cat") == "qos"}
+        assert kinds == {"qos.reserve", "qos.deny", "qos.provision",
+                         "qos.activate", "qos.release"}
+        faulty_kinds = {ev["name"]
+                        for ev in chrome_trace(cell(faults=True)
+                                               .tracer)["traceEvents"]
+                        if ev.get("cat") == "qos"}
+        assert {"qos.revoke", "qos.reprovision"} <= faulty_kinds
+
+    def test_tenant_rank_is_reserved(self):
+        assert TENANT_RANK == -2
+
+
+class TestDeterminismAndShape:
+    def test_fault_seed_changes_timings_not_verdicts(self):
+        """The workload itself is seed-free (deterministic streams), so
+        the seed bites through the fault plan: faulty cells differ."""
+        one = cell(seed=1, faults=True).report
+        two = run_scenario("qos_contention", seed=2, faults=True).report
+        assert one["elapsed_us"] != two["elapsed_us"]
+        assert two["verified"] and two["invariants_ok"]
+
+    def test_faulty_report_canonical_and_byte_stable(self):
+        first = json.dumps(cell(faults=True).report)
+        second = json.dumps(
+            run_scenario("qos_contention", seed=1, faults=True).report)
+        assert first == second
+        assert first == json.dumps(cell(faults=True).report, sort_keys=True)
+
+    def test_rejects_other_rank_counts(self):
+        from repro.scenarios import ScenarioError
+
+        with pytest.raises(ScenarioError, match="exactly 8 ranks"):
+            run_scenario("qos_contention", ranks=12)
+
+    def test_every_sender_crosses_the_switch(self):
+        scenario = QosContentionScenario()
+        from repro.scenarios import ScenarioParams
+
+        topology = scenario.topology(ScenarioParams())
+        for src, dst in SENDER_PEER.items():
+            assert topology.node_group(src) != topology.node_group(dst)
