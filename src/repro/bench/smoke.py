@@ -12,7 +12,8 @@ on regressions beyond its tolerance.
 Metric naming carries the comparison direction: ``*_us`` is
 lower-is-better (simulated microseconds), ``*_mibs`` is higher-is-better
 (MiB/s), ``*_ops`` is higher-is-better (service ops per second), ``*_x``
-is higher-is-better (a speedup ratio).
+is higher-is-better (a speedup ratio), ``*_availability`` is
+higher-is-better (a served-time fraction in [0, 1]).
 """
 
 from __future__ import annotations
@@ -59,6 +60,8 @@ SMOKE_METRICS = (
     "scenario_coloc_rings_p99_us",
     "qos_reserved_throughput_ops",
     "qos_besteffort_p99_us",
+    "kv_failover_availability",
+    "kv_overload_p99_us",
 )
 
 #: (smoke gauge, scenario) pairs: each end-to-end scenario's headline
@@ -70,6 +73,7 @@ SCENARIO_HEADLINES = (
     ("scenario_coloc_p99_us", "colocation"),
     ("scenario_coloc_rings_p99_us", "colocation_rings"),
     ("qos_reserved_throughput_ops", "qos_contention"),
+    ("kv_failover_availability", "kv_failover"),
 )
 
 
@@ -80,6 +84,8 @@ def _unit(name: str) -> str:
         return "ops/s"
     if name.endswith("_x"):
         return "x"
+    if name.endswith("_availability"):
+        return "1"
     return "MiB/s"
 
 
@@ -161,6 +167,12 @@ def smoke_registry() -> "MetricsRegistry":
             # side of the isolation trade).
             gauges["qos_besteffort_p99_us"].set(
                 report["metrics"]["qos.besteffort_latency_us.p99"])
+    # The replicated-KV overload point last: it resets the plan cache
+    # per run itself, and it self-checks (open-loop sojourn p99 must
+    # strictly exceed the closed-loop p99 at the same per-op cost).
+    from .kv import run_overload_point
+
+    gauges["kv_overload_p99_us"].set(run_overload_point().open_p99_us)
     return registry
 
 

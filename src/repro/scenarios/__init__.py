@@ -12,6 +12,7 @@ from .base import (SCENARIO_COUNTERS, SCENARIO_HISTOGRAMS, Scenario,
 from .colocation import (ColocationRingsScenario, ColocationScenario,
                          HaloConfig, halo_program, run_halo_standalone)
 from .graph import GraphScenario
+from .kv_failover import MIN_AVAILABILITY, KvFailoverScenario
 from .qos_contention import QosContentionScenario
 from .tasks import WorkStealingScenario, task_costs
 from .training import TrainingScenario
@@ -23,6 +24,8 @@ __all__ = [
     "ColocationScenario",
     "GraphScenario",
     "HaloConfig",
+    "KvFailoverScenario",
+    "MIN_AVAILABILITY",
     "QosContentionScenario",
     "Scenario",
     "ScenarioError",

@@ -18,18 +18,30 @@ Layers:
   host-side replay oracle;
 * :mod:`repro.svc.driver` — cluster assembly, metrics wiring,
   verification, and the JSON report;
+* :mod:`repro.svc.repl` — chain replication, failover, live shard
+  migration / key-range splitting, and open-loop load generation
+  (``docs/REPLICATION.md``);
 * :mod:`repro.svc.cli` — the ``repro-svc`` command.
 
 See ``docs/SERVICE.md`` for the slot layout and consistency story.
 """
 
 from .driver import ServiceConfig, run_service
-from .shard import ShardMap, hash_key, mix64
+from .repl import (FailoverPlan, OpenLoopSpec, Rebalancer, ReplicaMap,
+                   ReplicatedKvStore, ReplicatedServiceConfig,
+                   run_replicated_service)
+from .shard import ShardMap, hash_key, hot_shard_indices, mix64
 from .store import RmaKvStore, SvcInstruments, slot_bytes
 from .workload import Op, WorkloadSpec, client_ops, replay
 
 __all__ = [
+    "FailoverPlan",
     "Op",
+    "OpenLoopSpec",
+    "Rebalancer",
+    "ReplicaMap",
+    "ReplicatedKvStore",
+    "ReplicatedServiceConfig",
     "RmaKvStore",
     "ServiceConfig",
     "ShardMap",
@@ -37,8 +49,10 @@ __all__ = [
     "WorkloadSpec",
     "client_ops",
     "hash_key",
+    "hot_shard_indices",
     "mix64",
     "replay",
+    "run_replicated_service",
     "run_service",
     "slot_bytes",
 ]

@@ -1,0 +1,41 @@
+"""Replication and rebalancing for the RMA key-value service.
+
+Chain (primary -> backup) replication over OSC windows with
+FaultPlan-style seeded failover, live shard migration / key-range
+splitting driven by the hot-shard accounting, and open-loop
+(arrival-rate) load generation with bounded queues and shed
+accounting.  See ``docs/REPLICATION.md`` for the protocol and the
+epoch-flip drain rules.
+"""
+
+from .chain import (REPL_COUNTERS, REPL_HISTOGRAMS, REPL_SLOT_HEADER,
+                    ApplyLedger, FailoverPlan, Placement, ReplicaMap,
+                    ReplicatedKvStore, ReplInstruments, repl_slot_bytes)
+from .driver import (REPL_COLLECTOR_METRICS, ReplicatedRun,
+                     ReplicatedServiceConfig, execute_replicated,
+                     run_replicated_service)
+from .openloop import OpenLoopSpec, arrival_times, open_loop_client
+from .rebalance import REBALANCE_COLLECTOR_METRICS, Rebalancer
+
+__all__ = [
+    "REBALANCE_COLLECTOR_METRICS",
+    "REPL_COLLECTOR_METRICS",
+    "REPL_COUNTERS",
+    "REPL_HISTOGRAMS",
+    "REPL_SLOT_HEADER",
+    "ApplyLedger",
+    "FailoverPlan",
+    "OpenLoopSpec",
+    "Placement",
+    "ReplInstruments",
+    "ReplicaMap",
+    "ReplicatedKvStore",
+    "ReplicatedRun",
+    "ReplicatedServiceConfig",
+    "Rebalancer",
+    "arrival_times",
+    "execute_replicated",
+    "open_loop_client",
+    "repl_slot_bytes",
+    "run_replicated_service",
+]

@@ -1,0 +1,725 @@
+"""Chain (primary -> backup) replication for the RMA key-value service.
+
+The base :class:`~repro.svc.store.RmaKvStore` proves the one-sided
+serving pattern; this module makes it survive rank loss.  Every logical
+shard is backed by a *chain* of replica tables on distinct server ranks.
+All replication traffic is the client's own one-sided traffic — servers
+stay passive, exactly as in the unreplicated store:
+
+* **writes** claim the *primary* slot's seqlock busy bit first
+  (``Win.fetch_and_op(op="bor")``) and hold it across the whole chain.
+  The value, key-hash and *tag* words are then published hop by hop down
+  the chain (primary first), each hop acknowledged by a flush; finally
+  the seqlock versions are released in *reverse* chain order, so the
+  primary — the read target — becomes readable only after every backup
+  holds the write.  Because every writer claims the primary first, the
+  per-slot apply order is identical on every chain member.
+* **tags are the version vector**: each write carries a globally unique
+  64-bit tag ``(client_id + 1) << 24 | seq``.  A replayed write reads
+  the slot's tag word under the claim and *skips* publication when its
+  tag is already present (``repl.replay_skips``) — this is what makes
+  lost-ack replay after a failover exactly-once instead of
+  at-least-once.
+* **reads** are seqlock-validated gets from the chain head, as in the
+  base store (24-byte header: hash, version, tag).
+* **failure** is modeled by a :class:`FailoverPlan`: after a fixed
+  number of completed chain writes the victim group's primary rank is
+  marked dead.  The next client op that routes to it pays a detection
+  timeout (``detect_cost_us``), fails the chain over — the dead rank is
+  dropped from every chain it serves and the backup is promoted — and
+  replays its in-flight write through the surviving chain.  The gap
+  between the kill and the first completed op on the affected group is
+  the measured *availability gap* (``repl.failover_gap_us``).
+
+Slot layout (``REPL_SLOT_HEADER`` = 24 bytes)::
+
+    [0:8)    key-hash word (``hash_key``; 0 = empty slot)
+    [8:16)   version word  (seqlock: odd = write in progress)
+    [16:24)  tag word      (version vector: last writer's unique tag)
+    [24:..)  value bytes   (fixed ``value_size``, 8-byte padded)
+
+Every apply is mirrored into a host-side :class:`ApplyLedger` — the
+driver's exactly-once oracle checks that no tag was applied twice to any
+replica, that every live chain member holds the same per-slot apply
+sequence, and that the physical tag words match the ledger tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from ...mpi.datatypes.basic import UNSIGNED_LONG
+from ...obs.metrics import Counter, Histogram
+from ..shard import hash_key, hot_shard_indices, shard_imbalance
+from ..store import _word
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ...mpi.osc.window import Win
+
+__all__ = [
+    "ApplyLedger", "FailoverPlan", "Placement", "ReplInstruments",
+    "ReplicaMap", "ReplicatedKvStore", "REPL_COUNTERS", "REPL_HISTOGRAMS",
+    "REPL_SLOT_HEADER", "repl_slot_bytes",
+]
+
+#: Bytes of slot metadata ahead of the value: hash + version + tag words.
+REPL_SLOT_HEADER = 24
+R_HASH_OFF = 0
+R_VER_OFF = 8
+R_TAG_OFF = 16
+R_VAL_OFF = 24
+
+#: Store event counters (registered as ``repl.<name>``).
+REPL_COUNTERS = (
+    "reads", "read_misses", "read_retries", "read_fallbacks",
+    "writes", "write_conflicts", "write_fallbacks",
+    "forwards", "acks", "replays", "replay_skips",
+    "dead_hops", "failovers", "arrivals", "shed_ops",
+)
+
+#: Latency histograms (registered as ``repl.<name>``).  ``service`` is
+#: time from first service to completion (what a closed-loop driver
+#: sees); ``sojourn`` is time from *arrival* to completion (open loop
+#: only — it includes queueing, the tail the closed loop hides).
+REPL_HISTOGRAMS = ("read_latency_us", "write_latency_us",
+                   "service_latency_us", "sojourn_latency_us")
+
+
+def repl_slot_bytes(value_size: int) -> int:
+    """Replicated slot size: 24B header + value padded to 8B words."""
+    return REPL_SLOT_HEADER + ((value_size + 7) // 8) * 8
+
+
+class ReplInstruments:
+    """The ``repl.*`` instruments, shared by every client's store."""
+
+    def __init__(self, counters: dict[str, Counter],
+                 histograms: dict[str, Histogram]):
+        self.counters = counters
+        self.histograms = histograms
+
+    @classmethod
+    def registered(cls, registry) -> "ReplInstruments":
+        return cls(
+            {name: registry.counter(f"repl.{name}", unit="1",
+                                    owner="repro.svc.repl")
+             for name in REPL_COUNTERS},
+            {name: registry.histogram(f"repl.{name}", unit="us",
+                                      owner="repro.svc.repl")
+             for name in REPL_HISTOGRAMS},
+        )
+
+    @classmethod
+    def standalone(cls) -> "ReplInstruments":
+        return cls(
+            {name: Counter(f"repl.{name}") for name in REPL_COUNTERS},
+            {name: Histogram(f"repl.{name}") for name in REPL_HISTOGRAMS},
+        )
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One replica's physical home: a slot table on a server rank."""
+
+    rank: int
+    table: int
+
+
+class ReplicaMap:
+    """Shard -> replica-chain placement, plus epoch and load accounting.
+
+    The map is the host-side routing/configuration service every client
+    consults (stand-in for etcd/ZooKeeper — its updates are atomic
+    host-side mutations, which is exactly the "config flip" a real
+    service would read from a coordination service).  Routing decisions:
+
+    * a key hashes to a *base* shard (``h % n_base_shards``); if that
+      shard has been range-split, keys whose hash has the top bit set
+      route to the split child instead — deterministic, so both halves
+      of a split stay addressable without rehashing the survivors;
+    * a shard's chain is its live placements in order (head = primary);
+    * ``epoch`` increments on every routing change (failover, migration
+      epoch flip, split commit).  In-flight ops that complete under an
+      older epoch than the current one are counted as *drained*
+      (``rebalance.drained_ops``) — the draining rule that makes epoch
+      flips safe is enforced by :class:`~repro.svc.repl.Rebalancer`
+      freezing the shard first.
+    """
+
+    def __init__(self, group_ranks: list[list[int]], slots_per_shard: int,
+                 tables_per_server: int = 2, hot_factor: float = 2.0):
+        if not group_ranks:
+            raise ValueError("need at least one replica group")
+        for chain in group_ranks:
+            if not chain:
+                raise ValueError("every replica group needs >= 1 rank")
+            if len(set(chain)) != len(chain):
+                raise ValueError(f"duplicate rank in chain {chain}")
+        if tables_per_server < 1:
+            raise ValueError("tables_per_server must be >= 1")
+        if hot_factor <= 1.0:
+            raise ValueError(f"hot_factor must exceed 1.0, got {hot_factor}")
+        self.slots_per_shard = slots_per_shard
+        self.tables_per_server = tables_per_server
+        self.hot_factor = hot_factor
+        self.server_ranks = sorted({r for chain in group_ranks for r in chain})
+        self._free: dict[int, list[int]] = {
+            rank: list(range(tables_per_server - 1, -1, -1))
+            for rank in self.server_ranks
+        }
+        self.chains: list[list[Placement]] = [
+            [Placement(rank, self.take_table(rank)) for rank in chain]
+            for chain in group_ranks
+        ]
+        self.n_base_shards = len(self.chains)
+        #: shard -> replica group (split children inherit the parent's).
+        self.group = list(range(len(self.chains)))
+        self.split_child: dict[int, int] = {}
+        self.split_parent: dict[int, int] = {}
+        self.dead: set[int] = set()
+        self.routed_out: set[int] = set()
+        self.epoch = 0
+        self.frozen: set[int] = set()
+        self.inflight = [0] * len(self.chains)
+        self.op_counts = [0] * len(self.chains)
+        # Rebalance/availability accounting (pulled by the collectors).
+        self.epoch_flips = 0
+        self.blocked_ops = 0
+        self.drained_ops = 0
+        self.failovers = 0
+
+    # -- table allocation -----------------------------------------------------
+
+    def take_table(self, rank: int) -> int:
+        free = self._free[rank]
+        if not free:
+            raise ValueError(f"rank {rank} has no free slot table")
+        return free.pop()
+
+    def release_table(self, rank: int, table: int) -> None:
+        self._free[rank].append(table)
+
+    def free_tables(self, rank: int) -> int:
+        return len(self._free[rank])
+
+    # -- routing --------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.chains)
+
+    def locate(self, key: str) -> tuple[int, int, int]:
+        """(shard, slot, hash) of ``key`` under the current epoch."""
+        h = hash_key(key)
+        shard = h % self.n_base_shards
+        if shard in self.split_child and (h >> 63) & 1:
+            shard = self.split_child[shard]
+        slot = (h >> 20) % self.slots_per_shard
+        return shard, slot, h
+
+    def chain(self, shard: int) -> list[Placement]:
+        """The *routing* chain of ``shard`` (head = primary).
+
+        Deliberately not filtered by ``dead``: a silent death keeps
+        receiving routes until some client detects it and calls
+        :meth:`fail_over` — the window between the two is the
+        availability gap.
+        """
+        return list(self.chains[shard])
+
+    def live_chain(self, shard: int) -> list[Placement]:
+        """The chain members still alive (the verification view)."""
+        return [p for p in self.chains[shard] if p.rank not in self.dead]
+
+    def chain_depth(self) -> int:
+        """Shortest live chain across shards (the redundancy floor)."""
+        return min(len(self.live_chain(s)) for s in range(self.n_shards))
+
+    def is_dead(self, rank: int) -> bool:
+        return rank in self.dead
+
+    def mark_dead(self, rank: int) -> None:
+        """The failure itself: the rank stops serving, silently.
+
+        Routing still points at it until a client *detects* the death
+        and calls :meth:`fail_over` — the window between the two is the
+        availability gap the driver measures.
+        """
+        self.dead.add(rank)
+
+    def fail_over(self, rank: int) -> list[int]:
+        """Drop ``rank`` from every chain, promote backups, bump epoch.
+
+        Idempotent per rank: only the first detection reconfigures (and
+        counts a failover); late detectors see an empty affected list.
+        Returns the shards whose chain changed.
+        """
+        if rank in self.routed_out:
+            return []
+        self.routed_out.add(rank)
+        affected = []
+        for shard, chain in enumerate(self.chains):
+            kept = [p for p in chain if p.rank != rank]
+            if len(kept) == len(chain):
+                continue
+            if not kept:
+                raise RuntimeError(
+                    f"shard {shard} lost its last replica (rank {rank})")
+            self.chains[shard] = kept
+            affected.append(shard)
+        self.epoch += 1
+        self.failovers += 1
+        return affected
+
+    # -- epoch / freeze / drain bookkeeping -----------------------------------
+
+    def is_frozen(self, shard: int) -> bool:
+        return shard in self.frozen
+
+    def freeze(self, shard: int) -> None:
+        self.frozen.add(shard)
+
+    def thaw(self, shard: int) -> None:
+        """Unfreeze after a migration/split copy: the atomic epoch flip."""
+        self.frozen.discard(shard)
+        self.epoch += 1
+        self.epoch_flips += 1
+
+    def begin_op(self, shard: int) -> int:
+        self.inflight[shard] += 1
+        return self.epoch
+
+    def end_op(self, shard: int, epoch0: int) -> None:
+        self.inflight[shard] -= 1
+        if self.epoch != epoch0:
+            # The routing epoch moved underneath this op (failover
+            # mid-flight) — it completed against a superseded epoch.
+            self.drained_ops += 1
+
+    # -- reconfiguration (rebalancer-driven) ----------------------------------
+
+    def move(self, shard: int, position: int, placement: Placement) -> None:
+        self.chains[shard][position] = placement
+
+    def add_split(self, base: int, placements: list[Placement]) -> int:
+        """Commit a key-range split of ``base``; returns the child shard."""
+        if base in self.split_child or base in self.split_parent:
+            raise ValueError(f"shard {base} is already split")
+        child = len(self.chains)
+        self.chains.append(list(placements))
+        self.group.append(self.group[base])
+        self.inflight.append(0)
+        self.op_counts.append(0)
+        self.split_child[base] = child
+        self.split_parent[child] = base
+        return child
+
+    # -- load accounting (shared helpers with ShardMap) -----------------------
+
+    def record(self, shard: int) -> None:
+        self.op_counts[shard] += 1
+
+    def total_ops(self) -> int:
+        return sum(self.op_counts)
+
+    def imbalance(self) -> float:
+        return shard_imbalance(self.op_counts)
+
+    def hot_shards(self) -> list[int]:
+        return hot_shard_indices(self.op_counts, self.hot_factor)
+
+    def rank_load(self, rank: int) -> int:
+        """Ops routed to shards this rank serves (acceptor choice input)."""
+        return sum(self.op_counts[s] for s, chain in enumerate(self.chains)
+                   if any(p.rank == rank for p in chain))
+
+
+@dataclass
+class FailoverPlan:
+    """A deterministic, seed-stable primary kill.
+
+    The kill fires when the ``kill_after_writes``-th chain write
+    completes (counted across all clients), killing the *current
+    primary* of ``kill_group``'s base shard.  Firing on an apply count
+    rather than a wall-clock time keeps the cell byte-deterministic
+    under any timing change.  ``detect_cost_us`` is the failure-detector
+    timeout a client pays on first contact with the dead rank.
+    """
+
+    kill_group: int = 0
+    kill_after_writes: int = 20
+    detect_cost_us: float = 40.0
+    # -- recorded during the run ----------------------------------------------
+    applies: int = field(default=0, repr=False)
+    kill_rank: Optional[int] = field(default=None, repr=False)
+    kill_time: Optional[float] = field(default=None, repr=False)
+    recover_time: Optional[float] = field(default=None, repr=False)
+
+    def describe(self) -> dict:
+        return {
+            "kill_group": self.kill_group,
+            "kill_after_writes": self.kill_after_writes,
+            "detect_cost_us": self.detect_cost_us,
+        }
+
+    def note_write(self, replicas: ReplicaMap, now: float) -> Optional[int]:
+        """Count one completed chain write; returns the rank just killed
+        (exactly once), else None."""
+        self.applies += 1
+        if self.kill_time is not None or self.applies < self.kill_after_writes:
+            return None
+        victim = replicas.chain(self.kill_group)[0].rank
+        replicas.mark_dead(victim)
+        self.kill_rank = victim
+        self.kill_time = now
+        return victim
+
+    def note_op_done(self, replicas: ReplicaMap, shard: int,
+                     now: float) -> None:
+        """First completed op on the affected group *after* the dead rank
+        was routed out closes the availability gap."""
+        if (self.kill_time is None or self.recover_time is not None
+                or replicas.group[shard] != self.kill_group
+                or self.kill_rank not in replicas.routed_out):
+            return
+        self.recover_time = now
+
+    def gap_us(self, end_time: float) -> float:
+        """The availability gap (0 before the kill; open gaps run to
+        ``end_time``)."""
+        if self.kill_time is None:
+            return 0.0
+        end = self.recover_time if self.recover_time is not None else end_time
+        return max(0.0, end - self.kill_time)
+
+
+class ApplyLedger:
+    """Host-side version-vector oracle: every apply, per replica.
+
+    ``record`` appends the tag a client just published to one replica's
+    (shard, slot); ``copy_table`` mirrors what a migration/split copy
+    does to the physical tables.  :meth:`check` is the exactly-once
+    verdict the driver reports.
+    """
+
+    def __init__(self):
+        #: (shard, slot) -> rank -> [tags in apply order]
+        self.applies: dict[tuple[int, int], dict[int, list[int]]] = {}
+
+    def record(self, shard: int, slot: int, rank: int, tag: int) -> None:
+        self.applies.setdefault((shard, slot), {}).setdefault(
+            rank, []).append(tag)
+
+    def copy_table(self, shard: int, from_rank: int, to_shard: int,
+                   to_rank: int, slots: int) -> None:
+        """Mirror a whole-table copy: the destination replica inherits
+        the source's per-slot apply history (its physical tag words are
+        now byte-identical to the source's)."""
+        for slot in range(slots):
+            source = self.applies.get((shard, slot), {}).get(from_rank)
+            if source:
+                dest = self.applies.setdefault((to_shard, slot), {})
+                dest[to_rank] = list(source)
+
+    def check(self, replicas: ReplicaMap) -> dict:
+        """Exactly-once + chain-agreement verdict over live replicas.
+
+        * ``duplicates`` — a tag applied twice to the same replica slot
+          (a replay that failed to dedupe);
+        * ``disagreements`` — two live members of a chain whose per-slot
+          apply sequences differ (a write that skipped a replica).
+        """
+        duplicates: list[dict] = []
+        disagreements: list[dict] = []
+        for (shard, slot), by_rank in sorted(self.applies.items()):
+            live = {rank: tags for rank, tags in by_rank.items()
+                    if rank not in replicas.dead}
+            for rank in sorted(live):
+                tags = live[rank]
+                if len(tags) != len(set(tags)):
+                    duplicates.append(
+                        {"shard": shard, "slot": slot, "rank": rank})
+            chain_ranks = [p.rank for p in replicas.live_chain(shard)]
+            sequences = [tuple(live.get(rank, ())) for rank in chain_ranks
+                         if rank in live]
+            if len(set(sequences)) > 1:
+                disagreements.append({"shard": shard, "slot": slot,
+                                      "ranks": chain_ranks})
+        return {
+            "ok": not duplicates and not disagreements,
+            "duplicates": duplicates,
+            "disagreements": disagreements,
+            "slots_applied": len(self.applies),
+        }
+
+
+class ReplicatedKvStore:
+    """Client-side handle on a chain-replicated slot store.
+
+    All methods are DES generators, like the base store.  ``table_span``
+    is the byte stride between consecutive tables in a server's window
+    part (every table is the same size, so it equals the table size).
+    """
+
+    def __init__(self, win: "Win", replicas: ReplicaMap, value_size: int,
+                 instruments: Optional[ReplInstruments] = None,
+                 client_id: int = 0, plan: Optional[FailoverPlan] = None,
+                 ledger: Optional[ApplyLedger] = None,
+                 on_payload: Optional[Callable[[int], None]] = None,
+                 max_read_retries: int = 4, max_claim_retries: int = 3,
+                 backoff_us: float = 2.0, freeze_poll_us: float = 5.0):
+        if value_size < 1:
+            raise ValueError(f"value_size must be >= 1, got {value_size}")
+        self.win = win
+        self.replicas = replicas
+        self.value_size = value_size
+        self.slot_size = repl_slot_bytes(value_size)
+        self.table_span = replicas.slots_per_shard * self.slot_size
+        self.m = instruments or ReplInstruments.standalone()
+        self.client_id = client_id
+        self.plan = plan
+        self.ledger = ledger
+        self.on_payload = on_payload
+        self.max_read_retries = max_read_retries
+        self.max_claim_retries = max_claim_retries
+        self.backoff_us = backoff_us
+        self.freeze_poll_us = freeze_poll_us
+        self.engine = win.engine
+        self._seq = 0
+
+    # -- shared plumbing ------------------------------------------------------
+
+    def _payload(self, nbytes: int) -> None:
+        if self.on_payload is not None:
+            self.on_payload(nbytes)
+
+    def _slot_base(self, placement: Placement, slot: int) -> int:
+        return placement.table * self.table_span + slot * self.slot_size
+
+    def _next_tag(self) -> int:
+        """A globally unique write tag: the client's version-vector entry."""
+        self._seq += 1
+        return ((self.client_id + 1) << 24) | self._seq
+
+    def _resolve(self, key: str):
+        """Route ``key``, waiting out any freeze on its shard."""
+        waited = False
+        while True:
+            shard, slot, h = self.replicas.locate(key)
+            if not self.replicas.is_frozen(shard):
+                if not waited:
+                    self.replicas.record(shard)
+                return shard, slot, h
+            if not waited:
+                waited = True
+                self.replicas.record(shard)
+                self.replicas.blocked_ops += 1
+            yield self.engine.timeout(self.freeze_poll_us)
+
+    def _touch(self, rank: int):
+        """Liveness gate before contacting ``rank``.
+
+        Live ranks return True immediately.  On a dead rank the client
+        pays the failure-detector timeout, fails the chain over (first
+        detector only — reconfiguration is idempotent) and returns
+        False so the caller re-resolves under the new epoch.
+        """
+        if not self.replicas.is_dead(rank):
+            return True
+        self.m.counters["dead_hops"].inc()
+        yield self.engine.timeout(self.plan.detect_cost_us if self.plan
+                                  else self.backoff_us * 8)
+        affected = self.replicas.fail_over(rank)
+        if affected:
+            self.m.counters["failovers"].inc()
+            self.win.device._trace("repl.failover", victim=rank,
+                                   shards=len(affected),
+                                   epoch=self.replicas.epoch)
+        return False
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, key: str):
+        """Seqlock-validated read from the chain head; bytes or None."""
+        device = self.win.device
+        self.m.counters["reads"].inc()
+        device._trace("repl.get.begin", key=key)
+        t0 = self.engine.now
+        while True:
+            shard, slot, h = yield from self._resolve(key)
+            epoch0 = self.replicas.begin_op(shard)
+            head = self.replicas.chain(shard)[0]
+            if not (yield from self._touch(head.rank)):
+                self.replicas.end_op(shard, epoch0)
+                continue
+            value = yield from self._read_slot(head, slot, h)
+            self.replicas.end_op(shard, epoch0)
+            break
+        if self.plan:
+            self.plan.note_op_done(self.replicas, shard, self.engine.now)
+        self.m.histograms["read_latency_us"].observe(self.engine.now - t0)
+        device._trace("repl.get.end", key=key, hit=value is not None)
+        return value
+
+    def _read_once(self, placement: Placement, slot: int, want: int):
+        base = self._slot_base(placement, slot)
+        blob = yield from self.win.get(self.slot_size, placement.rank, base)
+        self._payload(self.slot_size)
+        raw = np.ascontiguousarray(np.asarray(blob)).view(np.uint8)
+        v1 = int.from_bytes(raw[R_VER_OFF:R_VER_OFF + 8].tobytes(), "little")
+        if v1 & 1:  # write in progress
+            return False, None
+        ver = yield from self.win.get(8, placement.rank, base + R_VER_OFF)
+        if _word(ver) != v1:  # slot changed underneath the read
+            return False, None
+        stored = int.from_bytes(raw[R_HASH_OFF:R_HASH_OFF + 8].tobytes(),
+                                "little")
+        if stored != want:  # empty, or another key hashed here
+            return True, None
+        return True, bytes(raw[R_VAL_OFF:R_VAL_OFF + self.value_size])
+
+    def _read_slot(self, placement: Placement, slot: int, want: int):
+        for attempt in range(self.max_read_retries):
+            stable, value = yield from self._read_once(placement, slot, want)
+            if stable:
+                if value is None:
+                    self.m.counters["read_misses"].inc()
+                return value
+            self.m.counters["read_retries"].inc()
+            yield self.engine.timeout(self.backoff_us * (attempt + 1))
+        self.m.counters["read_fallbacks"].inc()
+        yield from self.win.lock(placement.rank, exclusive=False)
+        value = None
+        for attempt in range(self.max_read_retries):
+            stable, value = yield from self._read_once(placement, slot, want)
+            if stable:
+                break
+            yield self.engine.timeout(self.backoff_us * (attempt + 1))
+        yield from self.win.unlock(placement.rank)
+        return value
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(self, key: str, value: bytes):
+        """Replicate ``value`` under ``key`` through the shard's chain."""
+        if len(value) != self.value_size:
+            raise ValueError(
+                f"value must be exactly {self.value_size} B, got {len(value)}"
+            )
+        device = self.win.device
+        self.m.counters["writes"].inc()
+        device._trace("repl.put.begin", key=key)
+        t0 = self.engine.now
+        tag = self._next_tag()
+        attempt = 0
+        while True:
+            shard, slot, h = yield from self._resolve(key)
+            epoch0 = self.replicas.begin_op(shard)
+            done = yield from self._chain_write(shard, slot, h, tag, value)
+            self.replicas.end_op(shard, epoch0)
+            if done:
+                break
+            # A chain member died underneath this write: replay it
+            # through the failed-over chain.  The tag dedupes any hop
+            # that already applied, so the replay is exactly-once.
+            attempt += 1
+            self.m.counters["replays"].inc()
+        if self.plan:
+            killed = self.plan.note_write(self.replicas, self.engine.now)
+            if killed is not None:
+                device._trace("repl.kill", victim=killed,
+                              after_writes=self.plan.applies)
+            self.plan.note_op_done(self.replicas, shard, self.engine.now)
+        self.m.histograms["write_latency_us"].observe(self.engine.now - t0)
+        device._trace("repl.put.end", key=key, attempts=attempt + 1)
+        return True
+
+    def _chain_write(self, shard: int, slot: int, h: int, tag: int,
+                     value: bytes):
+        """One pass down the live chain; False = a member died, replay."""
+        chain = self.replicas.chain(shard)
+        claimed: list[tuple[Placement, int]] = []
+        for hop, placement in enumerate(chain):
+            if not (yield from self._touch(placement.rank)):
+                # Late death detection: release whatever we already
+                # claimed (those hops keep their published data; the
+                # replay will dedupe on the tag) and signal a replay.
+                yield from self._release(claimed)
+                return False
+            yield from self._claim(placement, slot)
+            claimed.append((placement, self._slot_base(placement, slot)))
+            current = yield from self.win.get(
+                8, placement.rank, self._slot_base(placement, slot) + R_TAG_OFF)
+            if _word(current) == tag:
+                self.m.counters["replay_skips"].inc()
+            else:
+                yield from self._publish(placement, slot, h, tag, value)
+                if self.ledger is not None:
+                    self.ledger.record(shard, slot, placement.rank, tag)
+            if hop > 0:
+                self.m.counters["forwards"].inc()
+            # The flush inside _publish / the tag read is this hop's
+            # versioned ack: the data is durable on the member before
+            # the next hop starts.
+            self.m.counters["acks"].inc()
+        yield from self._release(claimed)
+        return True
+
+    def _claim(self, placement: Placement, slot: int):
+        """Claim the member's seqlock busy bit (retry, lock fallback).
+
+        Chain members are always claimed head-first, so slot claims are
+        acquired in one global order and cannot deadlock.
+        """
+        base = self._slot_base(placement, slot)
+        for attempt in range(self.max_claim_retries):
+            prev = yield from self.win.fetch_and_op(
+                np.array([1], dtype=np.uint64), placement.rank,
+                base + R_VER_OFF, op="bor", datatype=UNSIGNED_LONG,
+            )
+            if _word(prev) % 2 == 0:
+                return True
+            self.m.counters["write_conflicts"].inc()
+            yield self.engine.timeout(self.backoff_us * (attempt + 1))
+        self.m.counters["write_fallbacks"].inc()
+        yield from self.win.lock(placement.rank, exclusive=True)
+        while True:
+            prev = yield from self.win.fetch_and_op(
+                np.array([1], dtype=np.uint64), placement.rank,
+                base + R_VER_OFF, op="bor", datatype=UNSIGNED_LONG,
+            )
+            if _word(prev) % 2 == 0:
+                break
+            yield self.engine.timeout(self.backoff_us)
+        yield from self.win.unlock(placement.rank)
+        return True
+
+    def _publish(self, placement: Placement, slot: int, h: int, tag: int,
+                 value: bytes):
+        """Write value + tag + hash into a claimed member slot (no
+        release — the seqlock stays held until the whole chain acked)."""
+        base = self._slot_base(placement, slot)
+        payload = np.frombuffer(value, dtype=np.uint8)
+        yield from self.win.put(payload, placement.rank, base + R_VAL_OFF)
+        tag_word = np.frombuffer(tag.to_bytes(8, "little"), dtype=np.uint8)
+        yield from self.win.put(tag_word, placement.rank, base + R_TAG_OFF)
+        hash_word = np.frombuffer(h.to_bytes(8, "little"), dtype=np.uint8)
+        yield from self.win.put(hash_word, placement.rank, base + R_HASH_OFF)
+        yield from self.win.flush(placement.rank)
+        self._payload(len(value) + 16)
+
+    def _release(self, claimed: list[tuple[Placement, int]]):
+        """Release held seqlocks in reverse chain order: the primary —
+        the read target — becomes readable last, after every backup
+        already holds the write."""
+        for placement, base in reversed(claimed):
+            if self.replicas.is_dead(placement.rank):
+                continue  # the member is gone; nothing to release
+            yield from self.win.accumulate(
+                np.array([1], dtype=np.uint64), placement.rank,
+                base + R_VER_OFF, op="sum", datatype=UNSIGNED_LONG,
+            )
+            yield from self.win.flush(placement.rank)

@@ -1,0 +1,418 @@
+"""The replicated-service driver: chains, failover, rebalancing, load.
+
+:func:`run_replicated_service` builds a cluster of
+``n_groups x replication`` passive server ranks, ``n_clients`` client
+ranks and (when rebalancing is on) one rebalancer rank, then runs the
+seeded workload through :class:`~repro.svc.repl.ReplicatedKvStore`
+handles.  Load is either closed-loop (issue-on-completion, like
+`repro.svc.driver`) or open-loop via
+:class:`~repro.svc.repl.OpenLoopSpec` — the mode that makes overload
+tails measurable.
+
+Verification is structural, not statistical:
+
+* the :class:`~repro.svc.repl.ApplyLedger` asserts **exactly-once
+  apply** — no tag applied twice to any replica and every live chain
+  member holds the same per-slot apply sequence;
+* the final *physical* tag words (read host-side out of each server's
+  window part after the last fence) must equal the ledger tails;
+* ``state_digests`` fingerprints each shard's serving table — the
+  migration determinism tests byte-compare these against a
+  no-migration oracle run.
+
+Determinism: the whole report is bit-identical for a given
+(config, policy, fault plan) triple, failover and rebalancing included
+— the kill fires on a write count, not a time, and every random draw
+is seeded.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ...cluster import Cluster
+from ...hardware.sci.faults import FaultPlan
+from ...mpi.transport.policy import TransferPolicy
+from ..workload import WorkloadSpec, client_ops
+from .chain import (ApplyLedger, FailoverPlan, R_TAG_OFF, ReplicaMap,
+                    ReplicatedKvStore, ReplInstruments, repl_slot_bytes)
+from .openloop import OpenLoopSpec, arrival_times, open_loop_client
+from .rebalance import REBALANCE_COLLECTOR_METRICS, Rebalancer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ...scenarios.base import ScenarioInstruments
+
+__all__ = ["ReplicatedServiceConfig", "ReplicatedRun", "execute_replicated",
+           "run_replicated_service", "REPL_COLLECTOR_METRICS"]
+
+#: Availability/routing gauges pulled from the live objects at snapshot.
+REPL_COLLECTOR_METRICS = ("repl.availability", "repl.chain_depth",
+                          "repl.epoch", "repl.failover_gap_us")
+
+
+@dataclass(frozen=True)
+class ReplicatedServiceConfig:
+    """Shape of one replicated-service run (JSON-friendly)."""
+
+    n_groups: int = 2
+    replication: int = 2
+    n_clients: int = 2
+    slots_per_shard: int = 64
+    tables_per_server: int = 2
+    hot_factor: float = 2.0
+    #: > 0 reserves this fraction of the tightest client->server path
+    #: for the serving tenant; the rebalancer rank stays outside the
+    #: tenant, so migration traffic rides the best-effort lane.
+    qos_reserve: float = 0.0
+    #: > 0 adds a rebalancer rank polling hot-shard evidence this often.
+    rebalance_interval_us: float = 0.0
+    rebalance_max_moves: int = 4
+    #: Imbalance ratio that triggers a key-range split instead of a
+    #: move (None = moves only; required by the determinism oracle).
+    split_hot_imbalance: Optional[float] = None
+    failover: Optional[FailoverPlan] = None
+    open_loop: Optional[OpenLoopSpec] = None
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+
+    def __post_init__(self):
+        if self.n_groups < 1 or self.replication < 1 or self.n_clients < 1:
+            raise ValueError("need >= 1 group, replica and client")
+        if self.failover is not None and self.replication < 2:
+            raise ValueError("failover needs replication >= 2")
+        if not 0.0 <= self.qos_reserve < 1.0:
+            raise ValueError(f"qos_reserve {self.qos_reserve} outside [0, 1)")
+        if self.workload.incr_fraction != 0.0:
+            raise ValueError(
+                "the replicated store serves blobs only; set the "
+                "workload's incr_fraction to 0")
+
+    @property
+    def n_servers(self) -> int:
+        return self.n_groups * self.replication
+
+    @property
+    def total_ranks(self) -> int:
+        return (self.n_servers + self.n_clients
+                + (1 if self.rebalance_interval_us > 0.0 else 0))
+
+    def group_ranks(self) -> list[list[int]]:
+        return [[g * self.replication + r for r in range(self.replication)]
+                for g in range(self.n_groups)]
+
+    def describe(self) -> dict:
+        return {
+            "n_groups": self.n_groups,
+            "replication": self.replication,
+            "n_clients": self.n_clients,
+            "slots_per_shard": self.slots_per_shard,
+            "tables_per_server": self.tables_per_server,
+            "hot_factor": self.hot_factor,
+            "qos_reserve": self.qos_reserve,
+            "rebalance_interval_us": self.rebalance_interval_us,
+            "rebalance_max_moves": self.rebalance_max_moves,
+            "split_hot_imbalance": self.split_hot_imbalance,
+            "failover": (None if self.failover is None
+                         else self.failover.describe()),
+            "open_loop": (None if self.open_loop is None
+                          else self.open_loop.describe()),
+        }
+
+
+@dataclass
+class ReplicatedRun:
+    """One executed run: the report plus the live verification artifacts."""
+
+    report: dict
+    replicas: ReplicaMap
+    ledger: ApplyLedger
+    plan: Optional[FailoverPlan]
+    #: rank -> copy of the server's window part after the final fence.
+    tables: dict[int, np.ndarray]
+
+
+def _fresh_plan(plan: Optional[FailoverPlan]) -> Optional[FailoverPlan]:
+    """A state-free copy, so re-running a config stays byte-identical."""
+    if plan is None:
+        return None
+    return FailoverPlan(**plan.describe())
+
+
+def _register_collectors(registry, engine, replicas: ReplicaMap,
+                         rebalancer_holder: list,
+                         plan: Optional[FailoverPlan]) -> None:
+    def collect_repl():
+        now = engine.now
+        gap = plan.gap_us(now) if plan is not None else 0.0
+        return {
+            "repl.availability": 1.0 - (gap / now if now > 0.0 else 0.0),
+            "repl.chain_depth": replicas.chain_depth(),
+            "repl.epoch": replicas.epoch,
+            "repl.failover_gap_us": gap,
+        }
+
+    def collect_rebalance():
+        rebalancer: Optional[Rebalancer] = rebalancer_holder[0]
+        return {
+            "rebalance.migrations": rebalancer.migrations if rebalancer else 0,
+            "rebalance.splits": rebalancer.splits if rebalancer else 0,
+            "rebalance.migrated_bytes":
+                rebalancer.migrated_bytes if rebalancer else 0,
+            "rebalance.migrated_slots":
+                rebalancer.migrated_slots if rebalancer else 0,
+            "rebalance.epoch_flips": replicas.epoch_flips,
+            "rebalance.blocked_ops": replicas.blocked_ops,
+            "rebalance.drained_ops": replicas.drained_ops,
+            "rebalance.epoch": replicas.epoch,
+        }
+
+    registry.register_collector(list(REPL_COLLECTOR_METRICS), collect_repl)
+    registry.register_collector(list(REBALANCE_COLLECTOR_METRICS),
+                                collect_rebalance)
+
+
+def _physical_check(replicas: ReplicaMap, tables: dict[int, np.ndarray],
+                    ledger: ApplyLedger, slot_size: int,
+                    table_span: int) -> dict:
+    """Final tag words in the real window memory == the ledger tails."""
+    mismatches: list[dict] = []
+    for (shard, slot), by_rank in sorted(ledger.applies.items()):
+        for placement in replicas.live_chain(shard):
+            tags = by_rank.get(placement.rank)
+            if not tags:
+                continue  # a missing sequence is flagged by ledger.check
+            base = placement.table * table_span + slot * slot_size
+            actual = int.from_bytes(
+                tables[placement.rank][base + R_TAG_OFF:
+                                       base + R_TAG_OFF + 8].tobytes(),
+                "little")
+            if actual != tags[-1]:
+                mismatches.append({
+                    "shard": shard, "slot": slot, "rank": placement.rank,
+                    "expected": tags[-1], "actual": actual,
+                })
+    return {"ok": not mismatches, "mismatches": mismatches}
+
+
+def _state_digests(replicas: ReplicaMap, tables: dict[int, np.ndarray],
+                   table_span: int) -> dict[str, str]:
+    """crc32 fingerprint of each shard's *serving* (head) table."""
+    digests = {}
+    for shard in range(replicas.n_shards):
+        head = replicas.live_chain(shard)[0]
+        view = tables[head.rank][head.table * table_span:
+                                 (head.table + 1) * table_span]
+        digests[str(shard)] = f"{zlib.crc32(view.tobytes()):08x}"
+    return digests
+
+
+def execute_replicated(cluster: Cluster, config: ReplicatedServiceConfig,
+                       scenario_inst: Optional["ScenarioInstruments"] = None,
+                       ) -> ReplicatedRun:
+    """Drive an existing cluster (the scenario entry point)."""
+    if cluster.n_ranks != config.total_ranks:
+        raise ValueError(f"config needs {config.total_ranks} ranks, "
+                         f"cluster has {cluster.n_ranks}")
+    spec = config.workload
+    n_servers, n_clients = config.n_servers, config.n_clients
+    registry = cluster.metrics
+    replicas = ReplicaMap(config.group_ranks(), config.slots_per_shard,
+                          tables_per_server=config.tables_per_server,
+                          hot_factor=config.hot_factor)
+    plan = _fresh_plan(config.failover)
+    ledger = ApplyLedger()
+    inst = ReplInstruments.registered(registry)
+    slot_size = repl_slot_bytes(spec.value_size)
+    table_span = config.slots_per_shard * slot_size
+    rebalancer_holder: list[Optional[Rebalancer]] = [None]
+    has_rebalancer = config.rebalance_interval_us > 0.0
+
+    qos = None
+    if config.qos_reserve > 0.0:
+        from ...qos import QosManager
+
+        qos = QosManager.install(cluster)
+        qos.register_metrics(registry)
+        # The serving tenant covers servers + clients only: the
+        # rebalancer rank stays best-effort by construction.
+        qos.add_tenant("svc", range(n_servers + n_clients))
+        paths = [(client, server)
+                 for client in range(n_servers, n_servers + n_clients)
+                 for server in range(n_servers)]
+        rate = config.qos_reserve * min(
+            qos.route_capacity(client, server) for client, server in paths)
+        reservation = qos.reserve("svc", paths, rate)
+        qos.provision(reservation)
+        qos.activate(reservation)
+
+    streams = [client_ops(spec, cid, max_counter_keys=1)
+               for cid in range(n_clients)]
+    stop = {"done": False, "finished": 0}
+    tables: dict[int, np.ndarray] = {}
+    on_payload = scenario_inst.payload if scenario_inst is not None else None
+
+    def client_body(ctx, win, cid):
+        store = ReplicatedKvStore(
+            win, replicas, spec.value_size, instruments=inst,
+            client_id=cid, plan=plan, ledger=ledger, on_payload=on_payload)
+        ops = streams[cid]
+        if config.open_loop is not None:
+            arrivals = arrival_times(config.open_loop, spec.seed, cid,
+                                     len(ops))
+            served, shed = yield from open_loop_client(
+                store, ops, arrivals, config.open_loop.max_queue)
+        else:
+            engine = store.engine
+
+            def one_op(op):
+                if op.kind == "get":
+                    yield from store.get(op.key)
+                else:
+                    yield from store.put(op.key, op.value)
+
+            served, shed = 0, 0
+            for index, op in enumerate(ops):
+                if spec.think_time > 0.0:
+                    yield engine.timeout(spec.think_time)
+                t0 = engine.now
+                if scenario_inst is not None and cid == 0:
+                    # Step spans on the first client only, so the steps
+                    # counter stays exact.
+                    with scenario_inst.step(ctx, index):
+                        yield from one_op(op)
+                else:
+                    yield from one_op(op)
+                inst.histograms["service_latency_us"].observe(
+                    engine.now - t0)
+                if scenario_inst is not None:
+                    scenario_inst.ops()
+                served += 1
+        if scenario_inst is not None and config.open_loop is not None:
+            scenario_inst.ops(served)
+        stop["finished"] += 1
+        if stop["finished"] == n_clients:
+            stop["done"] = True
+        return served, shed
+
+    def program(ctx):
+        rank = ctx.comm.rank
+        is_server = rank < n_servers
+        size = (config.tables_per_server * table_span if is_server else 8)
+        win = yield from ctx.comm.win_create(size, shared=True)
+        if is_server:
+            win.local_view()[:] = 0
+        yield from win.fence()
+        result = (0, 0)
+        if n_servers <= rank < n_servers + n_clients:
+            result = yield from client_body(ctx, win, rank - n_servers)
+        elif has_rebalancer and rank == config.total_ranks - 1:
+            rebalancer = Rebalancer(
+                win, replicas, spec.value_size, ledger=ledger,
+                interval_us=config.rebalance_interval_us,
+                max_moves=config.rebalance_max_moves,
+                split_hot_imbalance=config.split_hot_imbalance)
+            rebalancer_holder[0] = rebalancer
+            yield from rebalancer.run(ctx, stop)
+        yield from win.fence()
+        if is_server:
+            tables[rank] = np.array(win.local_view(), dtype=np.uint8,
+                                    copy=True)
+        yield from win.fence()
+        return result
+
+    # The collectors read live objects lazily, so registering before the
+    # run keeps snapshot-time values final.
+    _register_collectors(registry, cluster.engine, replicas,
+                         rebalancer_holder, plan)
+    run = cluster.run(program)
+    served = sum(r[0] for r in run.results)
+    shed = sum(r[1] for r in run.results)
+    snap = registry.snapshot()
+    elapsed = run.elapsed
+
+    ledger_check = ledger.check(replicas)
+    physical = _physical_check(replicas, tables, ledger, slot_size,
+                               table_span)
+    checks = {"ledger": ledger_check, "physical_tags": physical}
+    if plan is not None:
+        checks["failover"] = {
+            "ok": (plan.kill_time is not None
+                   and plan.recover_time is not None
+                   and snap["repl.failovers"] == 1),
+            "kill_fired": plan.kill_time is not None,
+            "recovered": plan.recover_time is not None,
+            "failovers": snap["repl.failovers"],
+        }
+
+    def latency(kind: str) -> dict:
+        prefix = f"repl.{kind}_latency_us"
+        return {
+            "count": snap[f"{prefix}.count"],
+            "mean": snap[f"{prefix}.mean"],
+            "p50": snap[f"{prefix}.p50"],
+            "p95": snap[f"{prefix}.p95"],
+            "p99": snap[f"{prefix}.p99"],
+        }
+
+    report = {
+        "service": config.describe(),
+        "workload": spec.describe(),
+        "total_ops": served,
+        "elapsed_us": elapsed,
+        "throughput_ops": served / elapsed * 1e6 if elapsed else 0.0,
+        "latency_us": {
+            "read": latency("read"),
+            "write": latency("write"),
+            "service": latency("service"),
+            "sojourn": latency("sojourn"),
+        },
+        "availability": snap["repl.availability"],
+        "failover_gap_us": snap["repl.failover_gap_us"],
+        "chain_depth": snap["repl.chain_depth"],
+        "epoch": snap["repl.epoch"],
+        "rebalance": {
+            "migrations": snap["rebalance.migrations"],
+            "splits": snap["rebalance.splits"],
+            "migrated_bytes": snap["rebalance.migrated_bytes"],
+            "blocked_ops": snap["rebalance.blocked_ops"],
+            "drained_ops": snap["rebalance.drained_ops"],
+            "epoch_flips": snap["rebalance.epoch_flips"],
+        },
+        "open_loop": {
+            "enabled": config.open_loop is not None,
+            "arrivals": snap["repl.arrivals"],
+            "served": served,
+            "shed": shed,
+            "shed_rate": (shed / snap["repl.arrivals"]
+                          if snap["repl.arrivals"] else 0.0),
+        },
+        "replay": {
+            "replays": snap["repl.replays"],
+            "replay_skips": snap["repl.replay_skips"],
+            "dead_hops": snap["repl.dead_hops"],
+        },
+        "state_digests": _state_digests(replicas, tables, table_span),
+        "checks": checks,
+        "verified": all(c["ok"] for c in checks.values()),
+        "faults": {
+            "injected": snap["faults.injected"],
+            "fallbacks": snap["recovery.fallbacks"],
+        },
+        **({"qos": {**qos.describe(), "enforcing": qos.enforcing}}
+           if qos is not None else {}),
+        "metrics": snap,
+    }
+    return ReplicatedRun(report=report, replicas=replicas, ledger=ledger,
+                         plan=plan, tables=tables)
+
+
+def run_replicated_service(config: ReplicatedServiceConfig,
+                           policy: Optional[TransferPolicy] = None,
+                           faults: Optional[FaultPlan] = None) -> dict:
+    """Run the replicated service once; returns the JSON-ready report."""
+    cluster = Cluster(n_nodes=config.total_ranks, policy=policy,
+                      faults=faults)
+    return execute_replicated(cluster, config).report

@@ -1,0 +1,102 @@
+"""Open-loop (arrival-rate) load generation with bounded queues.
+
+The closed-loop driver (`repro.svc.driver`) issues the next op only
+when the previous one completes — under overload the offered rate falls
+to match capacity and the latency tail quietly disappears (coordinated
+omission).  An open-loop client instead draws *arrival times* from a
+seeded Poisson process at a fixed rate; ops that arrive while the
+service is behind wait in a bounded client queue, and the latency that
+matters is the **sojourn** time (completion - arrival), not the service
+time.  Beyond ``max_queue`` pending ops the client *sheds* the arrival
+(``repl.shed_ops``) — explicit backpressure accounting instead of an
+unbounded queue that would hide saturation as memory growth.
+
+The generator is deterministic: arrivals come from
+``SeedSequence([seed, client_id, _ARRIVAL_STREAM])`` and never consult
+the wall clock, so open-loop reports are byte-identical per seed like
+everything else in the repo.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workload import Op
+
+__all__ = ["OpenLoopSpec", "arrival_times", "open_loop_client"]
+
+#: Seed-stream discriminator so arrival draws never alias the op draws.
+_ARRIVAL_STREAM = 7
+
+
+@dataclass(frozen=True)
+class OpenLoopSpec:
+    """Arrival process of one open-loop run (per-client rate)."""
+
+    #: Mean inter-arrival gap per client, in simulated µs.  The offered
+    #: load of the whole run is ``n_clients / mean_interarrival_us`` ops
+    #: per µs.
+    mean_interarrival_us: float = 50.0
+    #: Arrivals pending beyond this bound are shed, not queued.
+    max_queue: int = 32
+
+    def __post_init__(self):
+        if self.mean_interarrival_us <= 0.0:
+            raise ValueError(
+                f"mean_interarrival_us must be > 0, "
+                f"got {self.mean_interarrival_us}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+
+    def describe(self) -> dict:
+        return {
+            "mean_interarrival_us": self.mean_interarrival_us,
+            "max_queue": self.max_queue,
+        }
+
+
+def arrival_times(spec: OpenLoopSpec, seed: int, client_id: int,
+                  n_ops: int) -> np.ndarray:
+    """The client's seeded Poisson arrival instants (µs, ascending)."""
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, client_id, _ARRIVAL_STREAM]))
+    gaps = rng.exponential(spec.mean_interarrival_us, n_ops)
+    return np.cumsum(gaps)
+
+
+def open_loop_client(store, ops: list[Op], arrivals: np.ndarray,
+                     max_queue: int):
+    """Drive ``store`` open-loop; returns (served, shed) counts.
+
+    The client is a single serial generator, so at the moment op *i* is
+    considered every earlier accepted op has already completed — the
+    queue depth at arrival ``t`` is the number of completion times still
+    in the future, which a bisect over the completion log yields exactly.
+    """
+    m = store.m
+    engine = store.engine
+    done_times: list[float] = []
+    served = shed = 0
+    for op, t_arrival in zip(ops, arrivals):
+        t_arrival = float(t_arrival)
+        m.counters["arrivals"].inc()
+        if engine.now < t_arrival:
+            yield engine.timeout(t_arrival - engine.now)
+        pending = len(done_times) - bisect_right(done_times, t_arrival)
+        if pending >= max_queue:
+            m.counters["shed_ops"].inc()
+            shed += 1
+            continue
+        t_service = engine.now
+        if op.kind == "get":
+            yield from store.get(op.key)
+        else:
+            yield from store.put(op.key, op.value)
+        m.histograms["service_latency_us"].observe(engine.now - t_service)
+        m.histograms["sojourn_latency_us"].observe(engine.now - t_arrival)
+        done_times.append(engine.now)
+        served += 1
+    return served, shed

@@ -17,7 +17,8 @@ are pulled from here by the registry collector in
 
 from __future__ import annotations
 
-__all__ = ["ShardMap", "hash_key", "mix64"]
+__all__ = ["ShardMap", "hash_key", "hot_shard_indices", "mix64",
+           "shard_imbalance"]
 
 _MASK = (1 << 64) - 1
 
@@ -42,6 +43,42 @@ def hash_key(key: str) -> int:
         h = ((h ^ byte) * 0x100000001B3) & _MASK
     h = mix64(h)
     return h if h != 0 else 1
+
+
+def shard_imbalance(op_counts: list[int]) -> float:
+    """Hottest shard's ops over the per-shard mean (1.0 = balanced)."""
+    total = sum(op_counts)
+    if total == 0:
+        return 0.0
+    return max(op_counts) * len(op_counts) / total
+
+
+def hot_shard_indices(op_counts: list[int], hot_factor: float,
+                      min_total: int | None = None) -> list[int]:
+    """Shards whose op count exceeds ``hot_factor`` x the per-shard mean.
+
+    The degenerate cases are explicit (they used to flag inconsistently):
+
+    * ``total == 0`` — no traffic means no hot shard, never "all shards
+      hot because every count exceeds a zero threshold".
+    * a single shard — the mean *is* its count, so with one shard the
+      threshold question is meaningless; never flag it.
+    * uniform tiny loads — with only a handful of ops the ratio test is
+      pure noise (e.g. ``[1, 0]`` flags shard 0 at 2x the mean after a
+      single op).  Below ``min_total`` ops (default: one per shard) no
+      shard is flagged; the rebalancer therefore never reacts to the
+      first few requests of a run.
+    """
+    n = len(op_counts)
+    total = sum(op_counts)
+    if n < 2 or total == 0:
+        return []
+    if min_total is None:
+        min_total = n
+    if total < min_total:
+        return []
+    threshold = hot_factor * total / n
+    return [s for s, count in enumerate(op_counts) if count > threshold]
 
 
 class ShardMap:
@@ -108,15 +145,15 @@ class ShardMap:
 
     def imbalance(self) -> float:
         """Hottest shard's ops over the per-shard mean (1.0 = balanced)."""
-        total = self.total_ops()
-        if total == 0:
-            return 0.0
-        return max(self.op_counts) * self.n_shards / total
+        return shard_imbalance(self.op_counts)
 
     def hot_shards(self) -> list[int]:
-        """Shards whose op count exceeds ``hot_factor`` x the mean."""
-        total = self.total_ops()
-        if total == 0:
-            return []
-        threshold = self.hot_factor * total / self.n_shards
-        return [s for s, n in enumerate(self.op_counts) if n > threshold]
+        """Shards whose op count exceeds ``hot_factor`` x the mean.
+
+        Delegates to :func:`hot_shard_indices`, which handles the
+        zero-traffic / single-shard / uniform-tiny-load degeneracies
+        explicitly (see its docstring) — the replication layer's
+        :class:`~repro.svc.repl.ReplicaMap` shares the same helper so
+        the two load-accounting paths cannot drift.
+        """
+        return hot_shard_indices(self.op_counts, self.hot_factor)

@@ -128,6 +128,27 @@ class TestMetricNames:
                 "missing from docs/OBSERVABILITY.md"
             )
 
+    def test_every_repl_metric_documented(self):
+        """The replication layer registers its instruments outside
+        build_registry — enumerate counters, histograms and the two
+        collector families from the repl name tuples."""
+        from repro.obs.metrics import _HISTOGRAM_FIELDS
+        from repro.svc.repl import (REBALANCE_COLLECTOR_METRICS,
+                                    REPL_COLLECTOR_METRICS, REPL_COUNTERS,
+                                    REPL_HISTOGRAMS)
+
+        names = [f"repl.{counter}" for counter in REPL_COUNTERS]
+        names += [f"repl.{hist}.{field}" for hist in REPL_HISTOGRAMS
+                  for field in _HISTOGRAM_FIELDS]
+        names += list(REPL_COLLECTOR_METRICS)
+        names += list(REBALANCE_COLLECTOR_METRICS)
+        assert len(names) >= 55
+        for name in names:
+            assert f"`{name}`" in DOC, (
+                f"repl metric {name!r} is registered by execute_replicated "
+                "but missing from docs/OBSERVABILITY.md"
+            )
+
     def test_every_scenario_headline_gauge_documented(self):
         from repro.bench.smoke import SCENARIO_HEADLINES
         from repro.scenarios import get_scenario
@@ -156,6 +177,12 @@ class TestDocumentationMap:
                      "SCENARIOS.md", "OBSERVABILITY.md"):
             text = (ROOT / "docs" / name).read_text()
             assert "QOS.md" in text, name
+
+    def test_replication_cross_linked(self):
+        for name in ("SERVICE.md", "FAULTS.md", "QOS.md",
+                     "SCENARIOS.md", "OBSERVABILITY.md"):
+            text = (ROOT / "docs" / name).read_text()
+            assert "REPLICATION.md" in text, name
 
     def test_experiments_have_regeneration_commands(self):
         experiments = (ROOT / "EXPERIMENTS.md").read_text()

@@ -30,8 +30,8 @@ from repro.scenarios import (
 from repro.scenarios.base import _REGISTRY, Scenario, register_scenario
 from repro.scenarios.cli import main as cli_main
 
-ALL_SCENARIOS = ("colocation", "colocation_rings", "graph", "qos_contention",
-                 "training", "work_stealing")
+ALL_SCENARIOS = ("colocation", "colocation_rings", "graph", "kv_failover",
+                 "qos_contention", "training", "work_stealing")
 
 # Reports are expensive (each is a full cluster simulation): cells are
 # computed once per test session and shared read-only.

@@ -70,6 +70,28 @@ class TestShardMap:
         assert shards.imbalance() == pytest.approx(1.8)
         assert shards.hot_shards() == [0]
 
+    def test_hot_shard_degenerate_cases(self):
+        """The module-level helper must stay quiet on inputs where
+        "hot" is meaningless: a single shard, no traffic at all, or so
+        little traffic that one op can tip the threshold."""
+        from repro.svc import hot_shard_indices
+
+        assert hot_shard_indices([], 1.5) == []
+        assert hot_shard_indices([7], 1.5) == []          # n < 2
+        assert hot_shard_indices([0, 0], 1.5) == []       # no traffic
+        assert hot_shard_indices([1, 0], 1.5) == []       # below min_total
+        assert hot_shard_indices([1, 0], 1.5, min_total=1) == [0]
+        assert hot_shard_indices([9, 1], 1.5) == [0]
+        # A perfectly balanced load is never hot, whatever the volume.
+        assert hot_shard_indices([100, 100], 1.5) == []
+
+    def test_hot_shard_threshold_is_strict(self):
+        from repro.svc import hot_shard_indices
+
+        # threshold = 1.5 * 12 / 2 = 9: count 9 is NOT hot, 10 is.
+        assert hot_shard_indices([9, 3], 1.5) == []
+        assert hot_shard_indices([10, 2], 1.5) == [0]
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ShardMap([], 8)

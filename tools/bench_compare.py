@@ -17,6 +17,8 @@ convention set by :mod:`repro.bench.smoke` and :mod:`repro.bench.perf`);
 * ``*_ops``     — service operations per second, higher is better;
 * ``*_x``       — a speedup ratio, higher is better;
 * ``*_per_sec`` — wall-clock engine throughput, higher is better;
+* ``*_availability`` — a served-time fraction in [0, 1], higher is
+  better;
 * anything else — direction unknown; a regression is the relative
   difference exceeding the tolerance either way.
 
@@ -43,6 +45,7 @@ DIRECTIONS = {
     "_ops": "higher",
     "_x": "higher",
     "_per_sec": "higher",
+    "_availability": "higher",
 }
 
 
